@@ -1,0 +1,214 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per experiment; see DESIGN.md §3 for the index). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each bench reports experiment-specific metrics via b.ReportMetric so
+// the shape of the paper's result is visible straight from the bench
+// output (factors, races, model errors, cycles/sec, leakage mW, ...).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/process"
+)
+
+// BenchmarkTable1PowerWalk regenerates Table 1: the ALPHA 21064 →
+// StrongARM power walk (26 W → ≈0.46 W in five factor steps).
+func BenchmarkTable1PowerWalk(b *testing.B) {
+	var total, final float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, final = r.TotalFactor, r.FinalW
+	}
+	b.ReportMetric(total, "reduction-x")
+	b.ReportMetric(final*1000, "final-mW")
+}
+
+// BenchmarkFigure1HierarchyOverlap regenerates Figure 1: the irregular
+// overlap of RTL and schematic hierarchies.
+func BenchmarkFigure1HierarchyOverlap(b *testing.B) {
+	var frag int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frag = r.Overlap.MaxFragmentation()
+	}
+	b.ReportMetric(float64(frag), "max-rtl-blocks-spanned")
+}
+
+// BenchmarkFigure2DesignFlow regenerates Figure 2: the flow DAG with its
+// bottom-to-top feedback iterations.
+func BenchmarkFigure2DesignFlow(b *testing.B) {
+	var iters int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = r.Result.Iterations
+	}
+	b.ReportMetric(float64(iters), "feedback-passes")
+}
+
+// BenchmarkFigure3DynamicNoise regenerates Figure 3: the per-source
+// noise budget of dynamic nodes (coupling, charge share, leakage).
+func BenchmarkFigure3DynamicNoise(b *testing.B) {
+	var findings int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings = 0
+		for _, s := range r.PerSource {
+			findings += s.Findings
+		}
+	}
+	b.ReportMetric(float64(findings), "noise-findings")
+}
+
+// BenchmarkFigure4TimingRaces regenerates Figure 4: critical paths limit
+// frequency; race paths break the chip at any frequency.
+func BenchmarkFigure4TimingRaces(b *testing.B) {
+	var races int
+	var minPeriod float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		races = r.RacyRaces
+		minPeriod = r.MinPeriodPS
+	}
+	b.ReportMetric(float64(races), "races-caught")
+	b.ReportMetric(minPeriod, "adder-min-period-ps")
+}
+
+// BenchmarkFigure5DistributedGate regenerates Figure 5: the error of the
+// lumped single-port gate model vs the distributed multi-finger reality.
+func BenchmarkFigure5DistributedGate(b *testing.B) {
+	var worstErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstErr = 0
+		for _, row := range r.Rows {
+			if row.ErrPct > worstErr {
+				worstErr = row.ErrPct
+			}
+		}
+	}
+	b.ReportMetric(worstErr, "lumped-model-error-%")
+}
+
+// BenchmarkS1SimThroughput measures FCL cycles/sec against §4.1's
+// ">200 cycles per second per simulation CPU".
+func BenchmarkS1SimThroughput(b *testing.B) {
+	var rate, cpus float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.S1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate, cpus = r.CyclesPerSec, r.CPUsAtOurRate
+	}
+	b.ReportMetric(rate, "cycles/sec")
+	b.ReportMetric(cpus, "cpus-for-2e9/day")
+}
+
+// BenchmarkS2LeakageLengthening regenerates the §3 leakage story: the
+// 0.045/0.09 µm channel pulls vs the 20 mW standby spec.
+func BenchmarkS2LeakageLengthening(b *testing.B) {
+	var at0, at90 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.S2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.Points {
+			if p.Corner != process.Fast {
+				continue
+			}
+			switch p.ExtraLUM {
+			case 0:
+				at0 = p.LeakageMW
+			case 0.09:
+				at90 = p.LeakageMW
+			}
+		}
+	}
+	b.ReportMetric(at0, "leak-mW-unlengthened")
+	b.ReportMetric(at90, "leak-mW-0.09um")
+}
+
+// BenchmarkS3SequentialEquiv regenerates §4.1's counter vs shift-register
+// equivalence check.
+func BenchmarkS3SequentialEquiv(b *testing.B) {
+	var states int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.S3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Result.Equivalent {
+			b.Fatal("equivalence broken")
+		}
+		states = r.Result.StatesExplored
+	}
+	b.ReportMetric(float64(states), "joint-states")
+}
+
+// BenchmarkS4CAMPrimitive regenerates §4.1's 2000-port CAM cost
+// comparison: the native primitive vs the gate-level expansion.
+func BenchmarkS4CAMPrimitive(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.S4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = r.Rows[len(r.Rows)-1].Slowdown
+	}
+	b.ReportMetric(slowdown, "expansion-slowdown-x@2048")
+}
+
+// BenchmarkS5CheckBattery runs the full §4.2 battery + CBV/CBC
+// comparison over the design zoo and reports the filter effectiveness.
+func BenchmarkS5CheckBattery(b *testing.B) {
+	var fe float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.S5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fe = r.FilterEffectiveness
+	}
+	b.ReportMetric(fe*100, "auto-pass-%")
+}
+
+// BenchmarkS6PessimismTradeoff sweeps the §4.3 min/max bounding
+// pessimism and reports the trade-off endpoints.
+func BenchmarkS6PessimismTradeoff(b *testing.B) {
+	var falseHits, races float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.S6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Rows[len(r.Rows)-1]
+		falseHits = float64(last.FalseSetupHits)
+		races = float64(last.RacesFlagged)
+	}
+	b.ReportMetric(falseHits, "false-violations@max-pessimism")
+	b.ReportMetric(races, "races-caught")
+}

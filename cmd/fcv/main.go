@@ -1,0 +1,242 @@
+// Command fcv is the full-custom verification driver: the command-line
+// face of the CBV methodology. It reads a SPICE-subset transistor deck,
+// flattens it, and runs the requested tool:
+//
+//	fcv verify  <deck.sp> [top]   # recognition + §4.2 battery + timing (CBV)
+//	fcv recog   <deck.sp> [top]   # recognition only
+//	fcv checks  <deck.sp> [top]   # §4.2 electrical battery
+//	fcv timing  <deck.sp> [top]   # critical paths and races
+//	fcv layout  <deck.sp> [top]   # macrocell place/estimate
+//	fcv cbc     <deck.sp> [top]   # the correct-by-construction gatekeeper
+//	fcv sim     <f.fcl> N [in=v]  # run an FCL RTL model for N cycles
+//	fcv power                     # Table 1 power walk + generations table
+//
+// Flags:
+//
+//	-process cmos075|cmos050|cmos035lp   (default cmos075)
+//	-period  <ps>                        clock period (default: process nominal)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/checks"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/process"
+	"repro/internal/recognize"
+	"repro/internal/rtl"
+	"repro/internal/timing"
+)
+
+var (
+	procName = flag.String("process", "cmos075", "process model: cmos075, cmos050, cmos035lp")
+	periodPS = flag.Float64("period", 0, "clock period in ps (0 = process nominal)")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|recog|checks|timing|layout|cbc|sim|power> [args]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(args[0], args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "fcv: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches a subcommand.
+func run(cmd string, args []string) error {
+	proc, err := process.ByName(*procName)
+	if err != nil {
+		return err
+	}
+	period := *periodPS
+	if period <= 0 {
+		period = 1e6 / proc.ClockFreqMHz
+	}
+	switch cmd {
+	case "power":
+		steps, err := power.Table1Walk(power.ALPHA21064(), power.StrongARM110())
+		if err != nil {
+			return err
+		}
+		fmt.Print(power.FormatWalk(steps))
+		fmt.Println("\nGenerations (§3 scaling story):")
+		fmt.Println("  chip          MHz    power(W)  perf  perf/W")
+		for _, r := range power.GenerationsTable() {
+			fmt.Printf("  %-12s  %4.0f  %8.2f  %4.1f  %6.2f\n",
+				r.Name, r.FreqMHz, r.PowerW, r.PerfRel, r.PerfPerW)
+		}
+		return nil
+
+	case "sim":
+		if len(args) < 2 {
+			return fmt.Errorf("sim needs <design.fcl> <cycles> [input=value ...]")
+		}
+		cycles, err := strconv.Atoi(args[1])
+		if err != nil || cycles < 0 {
+			return fmt.Errorf("bad cycle count %q", args[1])
+		}
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prog, err := rtl.Parse(f)
+		if err != nil {
+			return err
+		}
+		sim, err := rtl.NewSim(prog)
+		if err != nil {
+			return err
+		}
+		for _, kv := range args[2:] {
+			name, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("input drive %q must be name=value", kv)
+			}
+			v, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return fmt.Errorf("input drive %q: %v", kv, err)
+			}
+			if err := sim.Set(name, v); err != nil {
+				return err
+			}
+		}
+		fmt.Println(sim.Design().Stats())
+		sim.Run(cycles)
+		for _, out := range prog.Modules[prog.Top].Outputs() {
+			fmt.Printf("  %s = %d\n", out.Name, sim.Get(out.Name))
+		}
+		return nil
+	}
+
+	// Netlist-based subcommands.
+	if len(args) < 1 {
+		return fmt.Errorf("%s needs a SPICE deck", cmd)
+	}
+	flat, err := loadFlat(args)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "recog":
+		rec, err := recognize.Analyze(flat)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rec.Summary())
+		for _, g := range rec.Groups {
+			fmt.Printf("  group %d: %s, %d devices", g.Index, g.Family, len(g.Devices))
+			for _, f := range g.Funcs {
+				if f.Function != nil {
+					fmt.Printf("  %s=%s", flat.NodeName(f.Node), f.Function)
+				}
+			}
+			fmt.Println()
+		}
+		return nil
+
+	case "checks":
+		rec, err := recognize.Analyze(flat)
+		if err != nil {
+			return err
+		}
+		rep, err := checks.RunAll(rec, checks.Options{Proc: proc, PeriodPS: period})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		for _, f := range rep.Violations() {
+			fmt.Printf("  VIOLATION %s %s: %s\n", f.Check, f.Subject, f.Detail)
+		}
+		return nil
+
+	case "timing":
+		rec, err := recognize.Analyze(flat)
+		if err != nil {
+			return err
+		}
+		rep, err := timing.Analyze(rec, timing.Options{Proc: proc, Clock: timing.TwoPhase(period)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("endpoints=%d races=%d min-period=%.0f ps\n",
+			len(rep.Paths), len(rep.Races), rep.MinPeriodPS)
+		if cp := rep.CriticalPath(); cp != nil {
+			fmt.Printf("critical: %v (slack %.0f ps)\n", rep.PathNodeNames(cp), cp.SetupSlack)
+		}
+		for _, r := range rep.Races {
+			fmt.Printf("RACE at %s: hold slack %.0f ps\n", flat.NodeName(r.Endpoint), r.HoldSlack)
+		}
+		return nil
+
+	case "layout":
+		m, err := layout.Place(flat, proc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(m.Summary())
+		return nil
+
+	case "cbc":
+		rep, err := core.CheckCBC(flat, proc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("CBC: accepted %d groups, rejected %d\n", rep.Accepted, len(rep.Rejections))
+		for _, r := range rep.Rejections {
+			fmt.Printf("  group %d (%s): %s\n", r.Group, r.Family, r.Reason)
+		}
+		return nil
+
+	case "verify":
+		rep, err := core.Verify(flat, core.Options{Proc: proc, Clock: timing.TwoPhase(period)})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// loadFlat parses a deck and flattens the requested (or inferred) top.
+func loadFlat(args []string) (*netlist.Circuit, error) {
+	f, err := os.Open(args[0])
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	lib, top, err := netlist.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) >= 2 {
+		return lib.Flatten(args[1])
+	}
+	if len(top.Devices) == 0 && len(top.Instances) == 0 {
+		// Deck is all subcircuits: flatten the last-named cell.
+		cells := lib.Cells()
+		if len(cells) == 0 {
+			return nil, fmt.Errorf("empty deck")
+		}
+		return lib.Flatten(cells[len(cells)-1])
+	}
+	// Flatten the top-level element soup through a temporary library.
+	lib.Add(top)
+	return lib.Flatten(top.Name)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeDeck drops a SPICE deck into a temp dir.
+func writeDeck(t *testing.T, contents string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "deck.sp")
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const invDeck = `
+.subckt inv a y
+mn y a vss vss nmos w=2 l=0.75
+mp y a vdd vdd pmos w=4 l=0.75
+.ends
+x1 in mid inv
+x2 mid out inv
+`
+
+func TestLoadFlatTopElements(t *testing.T) {
+	flat, err := loadFlat([]string{writeDeck(t, invDeck)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Devices) != 4 {
+		t.Errorf("devices = %d, want 4", len(flat.Devices))
+	}
+}
+
+func TestLoadFlatNamedTop(t *testing.T) {
+	deck := ".subckt cell a y\nmn y a vss vss nmos w=2 l=0.75\nmp y a vdd vdd pmos w=4 l=0.75\n.ends\n"
+	flat, err := loadFlat([]string{writeDeck(t, deck), "cell"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Devices) != 2 {
+		t.Errorf("devices = %d", len(flat.Devices))
+	}
+	if _, err := loadFlat([]string{writeDeck(t, deck), "nosuch"}); err == nil {
+		t.Error("unknown top accepted")
+	}
+}
+
+func TestLoadFlatAllSubcktsPicksLast(t *testing.T) {
+	deck := ".subckt a p\nmn p vdd vss vss nmos w=2 l=0.75\n.ends\n" +
+		".subckt b p\nmn p vdd vss vss nmos w=2 l=0.75\n.ends\n"
+	flat, err := loadFlat([]string{writeDeck(t, deck)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Name != "b.flat" {
+		t.Errorf("top = %s, want b.flat (last cell)", flat.Name)
+	}
+}
+
+func TestRunSubcommands(t *testing.T) {
+	deck := writeDeck(t, invDeck)
+	for _, cmd := range []string{"verify", "recog", "checks", "timing", "layout", "cbc"} {
+		if err := run(cmd, []string{deck}); err != nil {
+			t.Errorf("%s: %v", cmd, err)
+		}
+	}
+	if err := run("power", nil); err != nil {
+		t.Errorf("power: %v", err)
+	}
+	if err := run("nonsense", []string{deck}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run("verify", nil); err == nil {
+		t.Error("missing deck accepted")
+	}
+}
+
+func TestRunSim(t *testing.T) {
+	src := "module top( -> c[8])\nreg r[8] @phi1\non phi1: r <= r + 1\nassign c = r\nendmodule\n"
+	path := filepath.Join(t.TempDir(), "cnt.fcl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("sim", []string{path, "10"}); err != nil {
+		t.Errorf("sim: %v", err)
+	}
+	if err := run("sim", []string{path, "x"}); err == nil {
+		t.Error("bad cycle count accepted")
+	}
+	if err := run("sim", []string{path}); err == nil {
+		t.Error("missing cycle count accepted")
+	}
+}

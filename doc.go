@@ -1,0 +1,15 @@
+// Package repro is a full-custom CMOS design and verification toolkit in
+// Go — an open reproduction of "Designing High Performance CMOS
+// Microprocessors Using Full Custom Techniques" (Grundmann, Dobberpuhl,
+// Allmon, Rethman; DAC 1997).
+//
+// The library lives under internal/: the transistor netlist substrate,
+// circuit recognition, switch-level and FCL RTL simulation, shadow-mode
+// co-simulation, equivalence checking, the §4.2 electrical check battery,
+// static timing with race analysis, the §3 power/leakage models, logical
+// effort sizing, macrocell layout assist, and the CBV methodology engine.
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmarks in bench_test.go regenerate
+// every table and figure; `go run ./cmd/repro` prints them.
+package repro

@@ -1,0 +1,12 @@
+* Footed domino AND2 with keeper — the quickstart circuit as a deck.
+* Run: go run ./cmd/fcv verify examples/decks/domino_and2.sp
+.subckt domino_and2 a b phi1 out
+mpre dyn phi1 vdd vdd pmos w=4 l=0.75
+ma   dyn a    x1  vss nmos w=6 l=0.75
+mb   x1  b    x2  vss nmos w=6 l=0.75
+mfoot x2 phi1 vss vss nmos w=8 l=0.75
+mbn  out dyn  vss vss nmos w=2 l=0.75
+mbp  out dyn  vdd vdd pmos w=4 l=0.75
+mkeep dyn out vdd vdd pmos w=1 l=1.125
+.ends
+x1 in_a in_b phi1 y domino_and2

@@ -1,0 +1,20 @@
+* Two-phase transmission-gate latch pipeline (clean - no races).
+* SPICE element order is: M <drain> <gate> <source> <bulk> <model>.
+* Run: go run ./cmd/fcv timing examples/decks/latch_pipeline.sp
+* Stage 0: phi1 latch (d -> l0_m -> q0 with weak keeper).
+m_l0_pn  l0_m phi1   d    vss nmos w=4 l=0.75
+m_l0_pp  l0_m phi1_n d    vdd pmos w=4 l=0.75
+m_l0_fn  q0   l0_m   vss  vss nmos w=2 l=0.75
+m_l0_fp  q0   l0_m   vdd  vdd pmos w=4 l=0.75
+m_l0_kn  l0_m q0     vss  vss nmos w=1 l=0.75
+m_l0_kp  l0_m q0     vdd  vdd pmos w=2 l=0.75
+* Logic between stages.
+m_u0_n   b0   q0     vss  vss nmos w=2 l=0.75
+m_u0_p   b0   q0     vdd  vdd pmos w=4 l=0.75
+* Stage 1: phi2 latch.
+m_l1_pn  l1_m phi2   b0   vss nmos w=4 l=0.75
+m_l1_pp  l1_m phi2_n b0   vdd pmos w=4 l=0.75
+m_l1_fn  q1   l1_m   vss  vss nmos w=2 l=0.75
+m_l1_fp  q1   l1_m   vdd  vdd pmos w=4 l=0.75
+m_l1_kn  l1_m q1     vss  vss nmos w=1 l=0.75
+m_l1_kp  l1_m q1     vdd  vdd pmos w=2 l=0.75

@@ -1,0 +1,68 @@
+// strongarm_lowpower: the §3 low-power story — reproduce the Table 1
+// power walk, sweep channel lengthening against the 20 mW standby spec,
+// size a buffer chain by logical effort for the low-voltage process,
+// and show conditional clocking in an FCL model.
+//
+//	go run ./examples/strongarm_lowpower
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/designs"
+	"repro/internal/power"
+	"repro/internal/process"
+	"repro/internal/rtl"
+	"repro/internal/sizing"
+)
+
+func main() {
+	// 1. Table 1: the ALPHA → StrongARM factor walk.
+	steps, err := power.Table1Walk(power.ALPHA21064(), power.StrongARM110())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(power.FormatWalk(steps))
+	fmt.Printf("total: %.1fx reduction\n\n", power.WalkTotalFactor(steps))
+
+	// 2. §3's leakage knob: lengthen the cache and pad devices.
+	chip := power.StrongARM110()
+	fmt.Printf("standby spec: <%.0f mW in the fastest corner\n", power.StandbySpecMW)
+	for _, p := range power.LeakageSweep(chip, []string{"cache", "pads"}, []float64{0, 0.045, 0.09}) {
+		if p.Corner != process.Fast {
+			continue
+		}
+		status := "FAILS"
+		if p.MeetsSpec {
+			status = "meets"
+		}
+		fmt.Printf("  ΔL=%.3f µm: %.1f mW — %s spec\n", p.ExtraLUM, p.LeakageMW, status)
+	}
+
+	// 3. Logical-effort sizing on the low-power process: drive a 2 pF
+	//    pad from a 5 fF source.
+	res, err := sizing.BufferChain(5, 2000, -1, process.CMOS035LP())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npad driver: %d stages, stage effort %.2f, delay %.0f ps\n",
+		len(res.Stages), res.StageEffort, res.DelayPS)
+	wn, wp := sizing.WidthsFromCin(res.CinFF, process.CMOS035LP())
+	for i := range wn {
+		fmt.Printf("  stage %d: Wn=%.1f µm  Wp=%.1f µm\n", i, wn[i], wp[i])
+	}
+
+	// 4. Conditional clocking (§3): the pipeline model's writeback only
+	//    clocks when an instruction actually writes.
+	prog, err := rtl.ParseString(designs.PipelineRTL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := rtl.NewSim(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npipeline model: %s\n", sim.Design().Stats())
+	fmt.Println("(writeback uses 'on phi2 if run & (op != 7)' — the clock enable IS the power knob)")
+}

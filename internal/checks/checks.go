@@ -1,0 +1,256 @@
+// Package checks implements the automated circuit-verification battery
+// of §4.2 of the paper:
+//
+//	"The automated CAD circuit verification checks performed at Digital
+//	Semiconductor include: Transistor configuration analysis — Beta ratio
+//	and device size checks of all complementary and ratioed structures.
+//	Clock distribution RC analysis ... Edge rate and delay analysis for
+//	clocks and signals. Latch checks. Coupling analysis of static and
+//	dynamic nodes. Dynamic charge share analysis. Dynamic node leakage
+//	checks. State-element writability and noise margin analysis.
+//	Electromigration, statistical and absolute failures. Antenna checks.
+//	Hot Carrier and Time Dependant Dielectric Breakdown checks."
+//
+// Every check follows the paper's filtering philosophy (§2.3): the tool
+// classifies each circuit as definitely fine (Pass), definitely broken
+// (Violation), or needing designer judgement (Inspect) — "filtering of
+// circuits that do not have a problem, and reporting those circuits that
+// might have a problem." A check never returns a bare boolean; each
+// finding carries a numeric margin so the designer can rank effort.
+package checks
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/process"
+	"repro/internal/recognize"
+)
+
+// Verdict is the three-state outcome of a filtering check.
+type Verdict int
+
+// Verdicts, ordered by severity.
+const (
+	// Pass: the filter proves the circuit has no problem; the designer
+	// never sees it.
+	Pass Verdict = iota
+	// Inspect: the filter cannot prove safety; the designer must look.
+	Inspect
+	// Violation: the filter proves a problem.
+	Violation
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "pass"
+	case Inspect:
+		return "inspect"
+	default:
+		return "violation"
+	}
+}
+
+// Finding is one check result on one circuit object.
+type Finding struct {
+	// Check is the check's short name (e.g. "beta-ratio").
+	Check string
+	// Subject names the node, device or group concerned.
+	Subject string
+	// Verdict classifies the finding.
+	Verdict Verdict
+	// Margin is a normalized safety margin: ≥1 comfortably safe, 1..0
+	// shrinking margin, <0 violated. Margins let reports rank designer
+	// attention.
+	Margin float64
+	// Detail is a human-readable explanation with numbers.
+	Detail string
+}
+
+// Coupling describes extracted coupling capacitance onto a victim node.
+type Coupling struct {
+	Victim    string
+	Aggressor string
+	CapFF     float64
+}
+
+// Options configures a battery run.
+type Options struct {
+	// Proc is the process model (required).
+	Proc *process.Process
+	// PeriodPS is the clock period, needed by leakage-hold, clock-RC
+	// and electromigration checks. Zero uses the process's nominal
+	// frequency.
+	PeriodPS float64
+	// Couplings carries extracted coupling caps (victim-keyed) for the
+	// coupling-noise analysis. Without extraction data the coupling
+	// check estimates from node wire capacitance.
+	Couplings []Coupling
+	// AntennaRatios carries per-node metal/gate area ratios from layout
+	// extraction. Nodes can alternatively be annotated with an
+	// "antenna" attribute.
+	AntennaRatios map[string]float64
+	// ActivityFactor is the fraction of cycles a typical node switches
+	// (for electromigration averaging). Default 0.15.
+	ActivityFactor float64
+	// SupplyDropMV maps supply-domain names (node "supply_domain"
+	// attributes; "" is the core domain) to their IR drop in mV, for
+	// the supply-difference noise analysis. Empty disables the check.
+	SupplyDropMV map[string]float64
+	// QCollectFC is the particle-strike collected charge in fC for the
+	// alpha/SER check (0 uses the era-typical 50 fC).
+	QCollectFC float64
+}
+
+// Report aggregates a battery run.
+type Report struct {
+	Findings []Finding
+	// ByCheck counts findings per check name and verdict.
+	ByCheck map[string]map[Verdict]int
+}
+
+// Counts returns total (pass, inspect, violation) counts.
+func (r *Report) Counts() (pass, inspect, violation int) {
+	for _, f := range r.Findings {
+		switch f.Verdict {
+		case Pass:
+			pass++
+		case Inspect:
+			inspect++
+		default:
+			violation++
+		}
+	}
+	return
+}
+
+// Violations returns only the violation findings.
+func (r *Report) Violations() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Verdict == Violation {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FilterEffectiveness is the fraction of findings auto-passed — the
+// paper's measure of how much design the tools keep away from the
+// designer's eyes.
+func (r *Report) FilterEffectiveness() float64 {
+	if len(r.Findings) == 0 {
+		return 1
+	}
+	p, _, _ := r.Counts()
+	return float64(p) / float64(len(r.Findings))
+}
+
+// Summary renders per-check counts, sorted by check name.
+func (r *Report) Summary() string {
+	names := make([]string, 0, len(r.ByCheck))
+	for n := range r.ByCheck {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		m := r.ByCheck[n]
+		s += fmt.Sprintf("%-22s pass=%-4d inspect=%-3d violation=%d\n",
+			n, m[Pass], m[Inspect], m[Violation])
+	}
+	return s
+}
+
+// A checkFunc runs one §4.2 check over a recognized circuit.
+type checkFunc func(rec *recognize.Result, opt *Options) []Finding
+
+// battery lists all checks in the paper's order.
+var battery = []struct {
+	name string
+	fn   checkFunc
+}{
+	{"beta-ratio", checkBetaRatio},
+	{"clock-rc", checkClockRC},
+	{"edge-rate", checkEdgeRate},
+	{"latch", checkLatch},
+	{"coupling", checkCoupling},
+	{"supply-difference", checkSupplyDifference},
+	{"particle", checkParticle},
+	{"charge-share", checkChargeShare},
+	{"dynamic-leakage", checkDynamicLeakage},
+	{"writability", checkWritability},
+	{"electromigration", checkElectromigration},
+	{"antenna", checkAntenna},
+	{"hot-carrier", checkHotCarrier},
+}
+
+// CheckNames returns the battery's check names in run order.
+func CheckNames() []string {
+	out := make([]string, len(battery))
+	for i, b := range battery {
+		out[i] = b.name
+	}
+	return out
+}
+
+// RunAll executes the full battery.
+func RunAll(rec *recognize.Result, opt Options) (*Report, error) {
+	if opt.Proc == nil {
+		return nil, fmt.Errorf("checks: missing process model")
+	}
+	if opt.PeriodPS <= 0 {
+		opt.PeriodPS = 1e6 / opt.Proc.ClockFreqMHz // MHz → ps
+	}
+	if opt.ActivityFactor <= 0 {
+		opt.ActivityFactor = 0.15
+	}
+	rep := &Report{ByCheck: make(map[string]map[Verdict]int)}
+	for _, b := range battery {
+		fs := b.fn(rec, &opt)
+		rep.Findings = append(rep.Findings, fs...)
+		m := rep.ByCheck[b.name]
+		if m == nil {
+			m = make(map[Verdict]int)
+			rep.ByCheck[b.name] = m
+		}
+		for _, f := range fs {
+			m[f.Verdict]++
+		}
+	}
+	return rep, nil
+}
+
+// Run executes a single named check.
+func Run(name string, rec *recognize.Result, opt Options) ([]Finding, error) {
+	if opt.Proc == nil {
+		return nil, fmt.Errorf("checks: missing process model")
+	}
+	if opt.PeriodPS <= 0 {
+		opt.PeriodPS = 1e6 / opt.Proc.ClockFreqMHz
+	}
+	if opt.ActivityFactor <= 0 {
+		opt.ActivityFactor = 0.15
+	}
+	for _, b := range battery {
+		if b.name == name {
+			return b.fn(rec, &opt), nil
+		}
+	}
+	return nil, fmt.Errorf("checks: unknown check %q (known: %v)", name, CheckNames())
+}
+
+// verdictFromMargin applies the standard two-threshold classification:
+// margin ≥ inspectAt passes, margin ≥ 0 inspects, below violates.
+func verdictFromMargin(margin, inspectAt float64) Verdict {
+	switch {
+	case margin >= inspectAt:
+		return Pass
+	case margin >= 0:
+		return Inspect
+	default:
+		return Violation
+	}
+}

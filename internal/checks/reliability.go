@@ -1,0 +1,181 @@
+package checks
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/process"
+	"repro/internal/recognize"
+)
+
+// checkClockRC — "Clock distribution RC analysis. Node-by-node clock RC
+// analysis. Correlated minimum/maximum RC analysis."
+//
+// For each clock net: its total load and any extracted resistance give
+// an RC settling constant; clock edges slower than a small fraction of
+// the period skew every latch fed by the net. The min/max correlation is
+// captured by evaluating at ±tolerance and reporting the worst.
+func checkClockRC(rec *recognize.Result, opt *Options) []Finding {
+	var out []Finding
+	p := opt.Proc
+	c := rec.Circuit
+	loads := nodeLoads(rec, p)
+	limit := opt.PeriodPS * 0.05 // 5% of the cycle
+	const mfgTol = 0.15
+	for _, ck := range rec.Clocks {
+		var r float64
+		for _, res := range c.Resistors {
+			if res.A == ck || res.B == ck {
+				r += res.Ohms
+			}
+		}
+		if r == 0 {
+			r = 50 // minimum plausible distribution resistance
+		}
+		rcMax := r * (1 + mfgTol) * loads[ck] * (1 + mfgTol) * 1e-3 // ps
+		margin := (limit - rcMax) / limit
+		out = append(out, Finding{
+			Check:   "clock-rc",
+			Subject: c.NodeName(ck),
+			Verdict: verdictFromMargin(margin, 0.4),
+			Margin:  margin,
+			Detail: fmt.Sprintf("worst RC %.1f ps vs %.1f ps budget (load %.1f fF)",
+				rcMax, limit, loads[ck]),
+		})
+	}
+	return out
+}
+
+// checkElectromigration — "Electromigration, statistical and absolute
+// failures."
+//
+// The time-averaged current in a driver's output wire is I = C·V·f·AF.
+// Compared against the process J limit at an assumed wire width (from
+// the node's "wire_width" attribute when extracted, else minimum width):
+// the absolute limit is a violation; 70% of it is the statistical
+// (cumulative-failure) inspection threshold.
+func checkElectromigration(rec *recognize.Result, opt *Options) []Finding {
+	var out []Finding
+	p := opt.Proc
+	c := rec.Circuit
+	loads := nodeLoads(rec, p)
+	fGHz := 1e3 / opt.PeriodPS // period in ps → frequency in GHz
+	for _, g := range rec.Groups {
+		for _, f := range g.Funcs {
+			id := f.Node
+			// I_avg: C[fF]·V·f[GHz]·AF gives µA (1e-15 F · 1e9 /s);
+			// convert to mA for the J limit.
+			iAvgMA := loads[id] * p.Vdd * fGHz * opt.ActivityFactor * 1e-3
+			width := 1.0 // µm, minimum width default
+			if w, ok := c.Nodes[id].Attrs["wire_width"]; ok {
+				if v, err := strconv.ParseFloat(w, 64); err == nil && v > 0 {
+					width = v
+				}
+			}
+			j := iAvgMA / width
+			margin := (p.JmaxMA - j) / p.JmaxMA
+			// Statistical threshold: inspect above 70% of the limit.
+			out = append(out, Finding{
+				Check:   "electromigration",
+				Subject: c.NodeName(id),
+				Verdict: verdictFromMargin(margin, 0.3),
+				Margin:  margin,
+				Detail: fmt.Sprintf("J=%.3f mA/µm vs limit %.2f (I=%.3f mA, w=%.1f µm)",
+					j, p.JmaxMA, iAvgMA, width),
+			})
+		}
+	}
+	return out
+}
+
+// checkAntenna — "Antenna checks."
+//
+// During metal etch, a long wire attached to a gate with no diffusion
+// discharge path collects plasma charge proportional to its area; the
+// metal-to-gate area ratio must stay below the process limit. Ratios
+// come from layout extraction (Options.AntennaRatios or node "antenna"
+// attributes); unannotated nodes are skipped (nothing to check until
+// layout exists).
+func checkAntenna(rec *recognize.Result, opt *Options) []Finding {
+	var out []Finding
+	p := opt.Proc
+	c := rec.Circuit
+	emit := func(name string, ratio float64) {
+		margin := (p.AntennaMaxRatio - ratio) / p.AntennaMaxRatio
+		out = append(out, Finding{
+			Check:   "antenna",
+			Subject: name,
+			Verdict: verdictFromMargin(margin, 0.25),
+			Margin:  margin,
+			Detail:  fmt.Sprintf("antenna ratio %.0f vs limit %.0f", ratio, p.AntennaMaxRatio),
+		})
+	}
+	seen := make(map[string]bool)
+	for name, ratio := range opt.AntennaRatios {
+		if c.FindNode(name) == netlistInvalid {
+			continue
+		}
+		seen[name] = true
+		emit(name, ratio)
+	}
+	for _, n := range c.Nodes {
+		if seen[n.Name] {
+			continue
+		}
+		if s, ok := n.Attrs["antenna"]; ok {
+			if v, err := strconv.ParseFloat(s, 64); err == nil {
+				emit(n.Name, v)
+			}
+		}
+	}
+	return out
+}
+
+// netlistInvalid mirrors netlist.InvalidNode without another import line.
+const netlistInvalid = -1
+
+// checkHotCarrier — "Hot Carrier and Time Dependant Dielectric Breakdown
+// checks."
+//
+// Hot-carrier degradation scales with the peak channel field ≈ Vdd/L;
+// TDDB with the oxide field, which tracks Vdd for a given process. The
+// filter computes each device's field stress relative to the process's
+// design point (nominal Vdd at Lmin) and flags devices pushed beyond it —
+// e.g. a device ported from a higher-voltage domain or an L below the
+// process minimum.
+func checkHotCarrier(rec *recognize.Result, opt *Options) []Finding {
+	var out []Finding
+	p := opt.Proc
+	c := rec.Circuit
+	nominal := p.Vdd / p.Lmin
+	for _, d := range c.Devices {
+		field := p.Vdd / d.Leff()
+		rel := field / nominal // ≤1 for L ≥ Lmin
+		// Margin 1 at ≤80% of nominal field, 0 at 105%.
+		margin := (1.05 - rel) / 0.25
+		if margin > 1 {
+			margin = 1
+		}
+		// Only NMOS suffers meaningful hot-carrier stress (electron
+		// injection); PMOS gets a 20% relaxation.
+		if d.Type == process.PMOS {
+			margin = math.Min(1, margin+0.2)
+		}
+		verdict := verdictFromMargin(margin, 0.2)
+		if verdict == Pass {
+			// Keep the report small: only emit non-trivial stress.
+			if rel < 0.95 {
+				continue
+			}
+		}
+		out = append(out, Finding{
+			Check:   "hot-carrier",
+			Subject: d.Name,
+			Verdict: verdict,
+			Margin:  margin,
+			Detail:  fmt.Sprintf("channel field %.2f V/µm (%.0f%% of process design point)", field, rel*100),
+		})
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+// Package core is the Correct-by-Verification (CBV) engine — the
+// paper's primary methodological contribution.
+//
+// §2: "Digital Semiconductor's design methodology follows a Correct by
+// verification (CBV) instead of the more popular Correct by construction
+// (CBC) methods. CBV better addresses the key electrical issues involved
+// with high-performance designs, while CBC may still be adequate for
+// non-critical designs."
+//
+// The CBV engine accepts ANY transistor arrangement and verifies it:
+// recognition deduces the meaning, the §4.2 check battery filters the
+// electrical hazards, the timing verifier bounds delays and hunts races,
+// and the verdicts are merged into a single filtered report
+// (Pass/Inspect/Violation with margins).
+//
+// For the ablation experiment the package also implements a CBC checker:
+// a library-rule gatekeeper that only admits structures matching its
+// known-cell patterns. Running both over the same full-custom designs
+// shows CBC rejecting legal, working DCVSL/domino/pass-gate structures
+// that CBV verifies — the paper's argument, measured.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/checks"
+	"repro/internal/netlist"
+	"repro/internal/process"
+	"repro/internal/recognize"
+	"repro/internal/timing"
+)
+
+// Options configures a CBV run.
+type Options struct {
+	// Proc is the process model (required).
+	Proc *process.Process
+	// Clock is the clocking methodology; zero value uses a two-phase
+	// clock at the process's nominal frequency.
+	Clock timing.ClockSpec
+	// Checks forwards extraction data to the §4.2 battery.
+	Couplings     []checks.Coupling
+	AntennaRatios map[string]float64
+	// CouplingPessimism forwards to the timing verifier.
+	CouplingPessimism float64
+}
+
+// Report is the merged CBV result for one design.
+type Report struct {
+	// Design is the verified circuit's name.
+	Design string
+	// Recognition is the deduced structure.
+	Recognition *recognize.Result
+	// Checks is the electrical battery result.
+	Checks *checks.Report
+	// Timing is the race/critical-path analysis.
+	Timing *timing.Report
+	// Verdict is the overall classification: the worst of all findings
+	// plus timing violations.
+	Verdict checks.Verdict
+	// InspectLoad counts the findings a designer must look at — the
+	// methodology's cost metric (§4.3: "As the number of false
+	// violations goes up, the productivity of the designer goes down").
+	InspectLoad int
+}
+
+// Verify runs the full CBV pipeline on a flat circuit.
+func Verify(c *netlist.Circuit, opt Options) (*Report, error) {
+	if opt.Proc == nil {
+		return nil, fmt.Errorf("core: missing process model")
+	}
+	if opt.Clock.PeriodPS == 0 {
+		opt.Clock = timing.TwoPhase(1e6 / opt.Proc.ClockFreqMHz)
+	}
+	rec, err := recognize.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	chk, err := checks.RunAll(rec, checks.Options{
+		Proc:          opt.Proc,
+		PeriodPS:      opt.Clock.PeriodPS,
+		Couplings:     opt.Couplings,
+		AntennaRatios: opt.AntennaRatios,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tim, err := timing.Analyze(rec, timing.Options{
+		Proc:              opt.Proc,
+		Clock:             opt.Clock,
+		CouplingPessimism: opt.CouplingPessimism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Design:      c.Name,
+		Recognition: rec,
+		Checks:      chk,
+		Timing:      tim,
+		Verdict:     checks.Pass,
+	}
+	bump := func(v checks.Verdict) {
+		if v > rep.Verdict {
+			rep.Verdict = v
+		}
+	}
+	for _, f := range chk.Findings {
+		bump(f.Verdict)
+		if f.Verdict != checks.Pass {
+			rep.InspectLoad++
+		}
+	}
+	// Unrecognized groups are CBV's "might have a problem" bucket.
+	for range rec.GroupsByFamily(recognize.FamilyUnknown) {
+		bump(checks.Inspect)
+		rep.InspectLoad++
+	}
+	for _, p := range tim.Paths {
+		if p.SetupSlack < 0 {
+			bump(checks.Violation)
+			rep.InspectLoad++
+		}
+	}
+	for range tim.Races {
+		bump(checks.Violation)
+		rep.InspectLoad++
+	}
+	return rep, nil
+}
+
+// Summary renders the merged report.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CBV report for %s: verdict=%s inspect-load=%d\n", r.Design, r.Verdict, r.InspectLoad)
+	fmt.Fprintf(&sb, "  recognition: %s\n", r.Recognition.Summary())
+	p, i, v := r.Checks.Counts()
+	fmt.Fprintf(&sb, "  checks: pass=%d inspect=%d violation=%d (filter %.0f%%)\n",
+		p, i, v, r.Checks.FilterEffectiveness()*100)
+	fmt.Fprintf(&sb, "  timing: %d endpoints, %d races, min period %.0f ps\n",
+		len(r.Timing.Paths), len(r.Timing.Races), r.Timing.MinPeriodPS)
+	return sb.String()
+}
+
+// ------------------------- CBC comparator --------------------------
+
+// CBCRejection explains why the constructive checker refused a group.
+type CBCRejection struct {
+	Group  int
+	Family recognize.Family
+	Reason string
+}
+
+// CBCReport is the library-rule gatekeeper's verdict.
+type CBCReport struct {
+	Design     string
+	Accepted   int
+	Rejections []CBCRejection
+}
+
+// Accepts reports whether CBC admitted the whole design.
+func (r *CBCReport) Accepts() bool { return len(r.Rejections) == 0 }
+
+// CheckCBC applies "correct by construction" library rules: only
+// structures matching the known-safe cell patterns are admitted —
+// static complementary gates with bounded fan-in and conventional
+// P:N sizing, and nothing else. This is deliberately the methodology
+// the paper argues against for high-performance work: it guarantees
+// what it accepts but cannot accept what full-custom designers build.
+func CheckCBC(c *netlist.Circuit, proc *process.Process) (*CBCReport, error) {
+	rec, err := recognize.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CBCReport{Design: c.Name}
+	const maxFanIn = 4
+	for _, g := range rec.Groups {
+		reject := func(reason string) {
+			rep.Rejections = append(rep.Rejections, CBCRejection{
+				Group:  g.Index,
+				Family: g.Family,
+				Reason: reason,
+			})
+		}
+		switch g.Family {
+		case recognize.FamilyStaticCMOS:
+			if len(g.Inputs) > maxFanIn {
+				reject(fmt.Sprintf("fan-in %d exceeds library limit %d", len(g.Inputs), maxFanIn))
+				continue
+			}
+			// Library sizing rule: every PMOS within 1–4× of every NMOS.
+			minN, maxP := 1e18, 0.0
+			for _, d := range g.Devices {
+				wl := d.W / d.Leff()
+				if d.Type == process.NMOS && wl < minN {
+					minN = wl
+				}
+				if d.Type == process.PMOS && wl > maxP {
+					maxP = wl
+				}
+			}
+			if maxP > 4*minN {
+				reject("device sizing outside library ratio rules")
+				continue
+			}
+			rep.Accepted++
+		case recognize.FamilyDynamic:
+			reject("dynamic logic not in cell library")
+		case recognize.FamilyDCVSL:
+			reject("DCVSL not in cell library")
+		case recognize.FamilyPassTransistor:
+			reject("pass-transistor structures not in cell library")
+		case recognize.FamilyRatioed:
+			reject("ratioed logic not in cell library")
+		default:
+			reject("unrecognizable structure")
+		}
+	}
+	sort.Slice(rep.Rejections, func(i, j int) bool {
+		return rep.Rejections[i].Group < rep.Rejections[j].Group
+	})
+	return rep, nil
+}
+
+// MethodologyComparison is the CBV-vs-CBC ablation row for one design.
+type MethodologyComparison struct {
+	Design string
+	// CBVVerdict is the verification outcome.
+	CBVVerdict checks.Verdict
+	// CBVInspectLoad is the designer effort CBV asks for.
+	CBVInspectLoad int
+	// CBCAccepts is whether the constructive rules admit the design.
+	CBCAccepts bool
+	// CBCRejected counts refused groups.
+	CBCRejected int
+}
+
+// CompareMethodologies runs both engines over one design.
+func CompareMethodologies(c *netlist.Circuit, opt Options) (*MethodologyComparison, error) {
+	cbv, err := Verify(c, opt)
+	if err != nil {
+		return nil, err
+	}
+	cbc, err := CheckCBC(c, opt.Proc)
+	if err != nil {
+		return nil, err
+	}
+	return &MethodologyComparison{
+		Design:         c.Name,
+		CBVVerdict:     cbv.Verdict,
+		CBVInspectLoad: cbv.InspectLoad,
+		CBCAccepts:     cbc.Accepts(),
+		CBCRejected:    len(cbc.Rejections),
+	}, nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checks"
+	"repro/internal/designs"
+	"repro/internal/netlist"
+	"repro/internal/process"
+	"repro/internal/recognize"
+)
+
+func opts() Options {
+	return Options{Proc: process.CMOS075()}
+}
+
+func TestVerifyCleanStaticDesign(t *testing.T) {
+	rep, err := Verify(designs.InverterChain(10), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict == checks.Violation {
+		t.Errorf("clean chain got violation verdict:\n%s", rep.Summary())
+	}
+	if len(rep.Timing.Races) != 0 {
+		t.Error("combinational chain cannot race")
+	}
+	s := rep.Summary()
+	for _, want := range []string{"CBV report", "recognition:", "checks:", "timing:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestVerifyDominoAdder(t *testing.T) {
+	rep, err := Verify(designs.DominoAdder(8), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CBV handles the dynamic design: recognition names every group,
+	// and the verdict is not driven by unknowns.
+	if got := len(rep.Recognition.GroupsByFamily(recognize.FamilyUnknown)); got != 0 {
+		t.Errorf("unknown groups = %d; %s", got, rep.Recognition.Summary())
+	}
+	if got := len(rep.Recognition.GroupsByFamily(recognize.FamilyDynamic)); got != 8 {
+		t.Errorf("dynamic groups = %d, want 8", got)
+	}
+}
+
+func TestVerifyFlagsRace(t *testing.T) {
+	rep, err := Verify(designs.LatchPipeline(4, true), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Timing.Races) == 0 {
+		t.Fatal("racy pipeline not flagged")
+	}
+	if rep.Verdict != checks.Violation {
+		t.Errorf("verdict = %v, want violation", rep.Verdict)
+	}
+	clean, err := Verify(designs.LatchPipeline(4, false), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Timing.Races) != 0 {
+		t.Error("clean two-phase pipeline flagged as racing")
+	}
+}
+
+func TestVerifyRequiresProcess(t *testing.T) {
+	if _, err := Verify(designs.InverterChain(2), Options{}); err == nil {
+		t.Error("missing process accepted")
+	}
+}
+
+func TestInspectLoadCountsNonPass(t *testing.T) {
+	// A skewed inverter generates at least one non-pass finding.
+	c := netlist.New("skew")
+	c.DeclarePort("y")
+	designs.AddInverter(c, "u", "a", "y", 20, 1)
+	rep, err := Verify(c, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InspectLoad == 0 {
+		t.Error("skewed sizing should cost inspection effort")
+	}
+}
+
+func TestCBCAcceptsLibraryStyle(t *testing.T) {
+	rep, err := CheckCBC(designs.InverterChain(6), process.CMOS075())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepts() {
+		t.Errorf("plain inverters rejected by CBC: %+v", rep.Rejections)
+	}
+	if rep.Accepted != 6 {
+		t.Errorf("accepted = %d", rep.Accepted)
+	}
+}
+
+func TestCBCRejectsFullCustomStyles(t *testing.T) {
+	// The paper's core argument: CBC refuses what full-custom needs.
+	cases := []struct {
+		name string
+		c    *netlist.Circuit
+		want string
+	}{
+		{"domino", designs.DominoAdder(2), "dynamic"},
+		{"passmux", designs.PassMux(4), "pass-transistor"},
+	}
+	for _, cse := range cases {
+		rep, err := CheckCBC(cse.c, process.CMOS075())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Accepts() {
+			t.Errorf("%s: CBC accepted a non-library design", cse.name)
+			continue
+		}
+		found := false
+		for _, r := range rep.Rejections {
+			if strings.Contains(r.Reason, cse.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no rejection mentioning %q: %+v", cse.name, cse.want, rep.Rejections)
+		}
+	}
+}
+
+func TestCBCRejectsOversizedFanIn(t *testing.T) {
+	// A legal 6-input complementary gate exceeds the library fan-in.
+	c := netlist.New("and6ish")
+	c.DeclarePort("y")
+	prev := "y"
+	for i := 0; i < 6; i++ {
+		next := "m" + string(rune('0'+i))
+		if i == 5 {
+			next = "vss"
+		}
+		c.NMOS("n"+string(rune('0'+i)), "in"+string(rune('0'+i)), next, prev, 4, 0.75)
+		prev = next
+	}
+	for i := 0; i < 6; i++ {
+		c.PMOS("p"+string(rune('0'+i)), "in"+string(rune('0'+i)), "vdd", "y", 6, 0.75)
+	}
+	rep, err := CheckCBC(c, process.CMOS075())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepts() {
+		t.Error("6-input gate should exceed the CBC library fan-in limit")
+	}
+}
+
+func TestCompareMethodologies(t *testing.T) {
+	// The ablation's shape: on the domino adder, CBV produces a
+	// verdict with finite inspection load while CBC simply refuses.
+	cmp, err := CompareMethodologies(designs.DominoAdder(4), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CBCAccepts {
+		t.Error("CBC accepted domino logic")
+	}
+	if cmp.CBCRejected == 0 {
+		t.Error("no CBC rejections counted")
+	}
+	if cmp.CBVVerdict == checks.Violation {
+		t.Errorf("CBV should verify the working domino adder, got %v", cmp.CBVVerdict)
+	}
+
+	// And on library-style logic both methods agree.
+	cmp2, err := CompareMethodologies(designs.InverterChain(4), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp2.CBCAccepts {
+		t.Error("CBC rejected plain inverters")
+	}
+}

@@ -1,0 +1,315 @@
+package equiv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/recognize"
+	"repro/internal/rtl"
+)
+
+// CombResult is one output's combinational comparison.
+type CombResult struct {
+	// Output names the compared signal/node pair ("rtl=ckt").
+	Output string
+	// Equivalent reports functional equality.
+	Equivalent bool
+	// Counterexample is a satisfying assignment of the miter when not
+	// equivalent (input bit variable → value).
+	Counterexample map[string]bool
+}
+
+// RTLOutputFunctions bit-blasts the named outputs of an FCL design into
+// boolean functions of the design's input bits, composing through all
+// combinational assigns. Registers, memories and CAMs are rejected —
+// combinational checking only (§4.1's first method; state re-encoding
+// needs SeqEquiv).
+func RTLOutputFunctions(d *rtl.Design, outputs []string) (map[string][]logic.Expr, error) {
+	widths := make(map[string]int)
+	kinds := make(map[string]rtl.SignalKind)
+	for _, s := range d.Signals {
+		widths[s.Name] = s.Width
+		kinds[s.Name] = s.Kind
+	}
+	b := &blaster{
+		design: d,
+		defs:   make(map[string]bitVec),
+		widthOf: func(name string) (int, bool) {
+			w, ok := widths[name]
+			return w, ok
+		},
+		isState: func(name string) bool { return kinds[name] == rtl.KindReg },
+	}
+	// Compose assigns in their (already topological) order.
+	for _, a := range d.Assigns {
+		v, err := b.blast(a.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", a.Line, err)
+		}
+		// Mask/pad to declared width.
+		w := widths[a.Target]
+		for len(v) < w {
+			v = append(v, logic.False)
+		}
+		b.defs[a.Target] = v[:w]
+	}
+	out := make(map[string][]logic.Expr, len(outputs))
+	for _, name := range outputs {
+		v, ok := b.defs[name]
+		if !ok {
+			if kinds[name] == rtl.KindReg {
+				return nil, fmt.Errorf("equiv: %q is a register; combinational check cannot cross state", name)
+			}
+			return nil, fmt.Errorf("equiv: output %q has no combinational definition", name)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// CircuitOutputFunction composes the recognized function of a circuit
+// node transitively back to the circuit's input ports, returning a
+// boolean function over input-port bit variables named BitVar(port, 0)
+// (flat circuits carry one bit per node; the bitIndex maps node names to
+// RTL signal bits, see CompareCombinational).
+func CircuitOutputFunction(rec *recognize.Result, node netlist.NodeID) (logic.Expr, error) {
+	memo := make(map[netlist.NodeID]logic.Expr)
+	visiting := make(map[netlist.NodeID]bool)
+	var resolve func(id netlist.NodeID) (logic.Expr, error)
+	resolve = func(id netlist.NodeID) (logic.Expr, error) {
+		if e, ok := memo[id]; ok {
+			return e, nil
+		}
+		if visiting[id] {
+			return nil, fmt.Errorf("equiv: feedback at node %s; combinational check cannot cross state", rec.Circuit.NodeName(id))
+		}
+		g := rec.GroupDriving(id)
+		if g == nil {
+			// Primary input (or undriven): a free variable.
+			return logic.Var(rec.Circuit.NodeName(id)), nil
+		}
+		f := g.Func(id)
+		if f == nil || f.Function == nil {
+			return nil, fmt.Errorf("equiv: node %s has no clean functional abstraction (family %s)",
+				rec.Circuit.NodeName(id), g.Family)
+		}
+		visiting[id] = true
+		expr := f.Function
+		for _, varName := range logic.Vars(expr) {
+			vid := rec.Circuit.FindNode(varName)
+			if vid == netlist.InvalidNode {
+				continue
+			}
+			if rec.IsClock(vid) {
+				// Evaluate-phase abstraction already substituted clocks.
+				continue
+			}
+			sub, err := resolve(vid)
+			if err != nil {
+				return nil, err
+			}
+			expr = logic.Substitute(expr, varName, sub)
+		}
+		delete(visiting, id)
+		memo[id] = expr
+		return expr, nil
+	}
+	return resolve(node)
+}
+
+// PortMap associates an RTL signal bit with a circuit node name.
+type PortMap struct {
+	// RTLSignal and Bit select the RTL side.
+	RTLSignal string
+	Bit       int
+	// Node is the circuit node name.
+	Node string
+}
+
+// CompareCombinational checks RTL outputs against circuit nodes.
+// inputs maps circuit input nodes onto RTL input bits; outputs pairs the
+// functions to compare.
+func CompareCombinational(d *rtl.Design, rec *recognize.Result, inputs, outputs []PortMap) ([]CombResult, error) {
+	wanted := make([]string, 0, len(outputs))
+	for _, o := range outputs {
+		wanted = append(wanted, o.RTLSignal)
+	}
+	sort.Strings(wanted)
+	wanted = dedupe(wanted)
+	rtlFns, err := RTLOutputFunctions(d, wanted)
+	if err != nil {
+		return nil, err
+	}
+	var results []CombResult
+	for _, o := range outputs {
+		vec, ok := rtlFns[o.RTLSignal]
+		if !ok || o.Bit >= len(vec) {
+			return nil, fmt.Errorf("equiv: no RTL function for %s[%d]", o.RTLSignal, o.Bit)
+		}
+		rtlExpr := vec[o.Bit]
+
+		nid := rec.Circuit.FindNode(o.Node)
+		if nid == netlist.InvalidNode {
+			return nil, fmt.Errorf("equiv: unknown circuit node %q", o.Node)
+		}
+		cktExpr, err := CircuitOutputFunction(rec, nid)
+		if err != nil {
+			return nil, err
+		}
+		// Rename circuit input variables (node names) into the shared
+		// RTL bit-variable namespace.
+		for _, in := range inputs {
+			cktExpr = logic.Substitute(cktExpr, in.Node, logic.Var(BitVar(in.RTLSignal, in.Bit)))
+		}
+		res := CombResult{Output: fmt.Sprintf("%s=%s", BitVar(o.RTLSignal, o.Bit), o.Node)}
+		res.Equivalent = logic.Equivalent(rtlExpr, cktExpr)
+		if !res.Equivalent {
+			m := logic.NewBDD()
+			miter := m.Xor(m.FromExpr(rtlExpr), m.FromExpr(cktExpr))
+			res.Counterexample = m.AnySat(miter)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// dedupe removes adjacent duplicates from a sorted slice.
+func dedupe(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SeqResult reports a sequential equivalence run.
+type SeqResult struct {
+	// Equivalent is true when no reachable state pair disagrees.
+	Equivalent bool
+	// StatesExplored counts distinct joint states visited.
+	StatesExplored int
+	// Counterexample is the input sequence (one value set per cycle)
+	// leading to a divergence, nil if equivalent.
+	Counterexample []map[string]uint64
+	// FailingOutput names the diverging output.
+	FailingOutput string
+}
+
+// SeqEquiv checks two FCL designs for sequential equivalence: starting
+// from both designs' reset states, it explores the joint reachable state
+// space over all combinations of the shared input signals, comparing the
+// shared outputs after every cycle. maxStates bounds the exploration
+// (exceeding it returns an error rather than a false positive).
+//
+// This is the §4.1 "different state declarations and state transitions"
+// scenario: the mod-5 counter vs. the 5-long one-hot ring compare equal
+// here even though no combinational or structural check could align them.
+func SeqEquiv(a, b *rtl.Sim, inputs []string, outputs []string, maxStates int) (*SeqResult, error) {
+	if len(inputs) > 16 {
+		return nil, fmt.Errorf("equiv: %d inputs is beyond exhaustive input enumeration", len(inputs))
+	}
+	widths := make(map[string]int)
+	for _, in := range inputs {
+		ia, ib := a.Design().SignalIndex(in), b.Design().SignalIndex(in)
+		if ia < 0 || ib < 0 {
+			return nil, fmt.Errorf("equiv: input %q missing from one design", in)
+		}
+		wa := a.Design().Signals[ia].Width
+		wb := b.Design().Signals[ib].Width
+		if wa != wb {
+			return nil, fmt.Errorf("equiv: input %q width mismatch (%d vs %d)", in, wa, wb)
+		}
+		widths[in] = wa
+	}
+	totalInputBits := 0
+	for _, w := range widths {
+		totalInputBits += w
+	}
+	if totalInputBits > 16 {
+		return nil, fmt.Errorf("equiv: %d input bits is beyond exhaustive enumeration", totalInputBits)
+	}
+	for _, out := range outputs {
+		if a.Design().SignalIndex(out) < 0 || b.Design().SignalIndex(out) < 0 {
+			return nil, fmt.Errorf("equiv: output %q missing from one design", out)
+		}
+	}
+
+	type joint struct {
+		sa, sb *rtl.State
+		trace  []map[string]uint64
+	}
+	startA, startB := a.Snapshot(), b.Snapshot()
+	queue := []joint{{startA, startB, nil}}
+	visited := map[string]bool{}
+	res := &SeqResult{Equivalent: true}
+
+	// Enumerate input assignments once.
+	assignments := enumerateInputs(inputs, widths, totalInputBits)
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, env := range assignments {
+			if err := a.Restore(cur.sa); err != nil {
+				return nil, err
+			}
+			if err := b.Restore(cur.sb); err != nil {
+				return nil, err
+			}
+			for name, v := range env {
+				_ = a.Set(name, v)
+				_ = b.Set(name, v)
+			}
+			a.Cycle()
+			b.Cycle()
+			trace := append(append([]map[string]uint64(nil), cur.trace...), env)
+			for _, out := range outputs {
+				if a.Get(out) != b.Get(out) {
+					res.Equivalent = false
+					res.Counterexample = trace
+					res.FailingOutput = out
+					return res, nil
+				}
+			}
+			key := a.StateKey() + "|" + b.StateKey()
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			res.StatesExplored++
+			if res.StatesExplored > maxStates {
+				return nil, fmt.Errorf("equiv: exceeded %d joint states; designs too large for explicit exploration", maxStates)
+			}
+			queue = append(queue, joint{a.Snapshot(), b.Snapshot(), trace})
+		}
+	}
+	// Restore initial states so callers can reuse the sims.
+	if err := a.Restore(startA); err != nil {
+		return nil, err
+	}
+	if err := b.Restore(startB); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// enumerateInputs lists every assignment of the inputs.
+func enumerateInputs(inputs []string, widths map[string]int, totalBits int) []map[string]uint64 {
+	n := 1 << uint(totalBits)
+	out := make([]map[string]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		env := make(map[string]uint64, len(inputs))
+		shift := 0
+		for _, in := range inputs {
+			w := widths[in]
+			env[in] = uint64(i>>shift) & ((1 << uint(w)) - 1)
+			shift += w
+		}
+		out = append(out, env)
+	}
+	return out
+}

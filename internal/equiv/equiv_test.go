@@ -1,0 +1,350 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/recognize"
+	"repro/internal/rtl"
+)
+
+// design elaborates FCL source.
+func design(t *testing.T, src string) *rtl.Design {
+	t.Helper()
+	prog, err := rtl.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rtl.Elaborate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// sim compiles FCL source.
+func sim(t *testing.T, src string) *rtl.Sim {
+	t.Helper()
+	prog, err := rtl.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rtl.NewSim(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// recog analyzes a circuit.
+func recog(t *testing.T, c *netlist.Circuit) *recognize.Result {
+	t.Helper()
+	r, err := recognize.Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRTLOutputFunctionsBlasting(t *testing.T) {
+	d := design(t, `
+module top(a[2], b[2] -> s[2], eq, lt)
+wire t[2]
+assign t = a ^ b
+assign s = t
+assign eq = a == b
+assign lt = a < b
+endmodule
+`)
+	fns, err := RTLOutputFunctions(d, []string{"s", "eq", "lt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns["s"]) != 2 || len(fns["eq"]) != 1 {
+		t.Fatalf("widths wrong: %d, %d", len(fns["s"]), len(fns["eq"]))
+	}
+	// Exhaustively check against integer semantics.
+	for a := uint64(0); a < 4; a++ {
+		for b := uint64(0); b < 4; b++ {
+			env := map[string]bool{
+				BitVar("a", 0): a&1 != 0, BitVar("a", 1): a&2 != 0,
+				BitVar("b", 0): b&1 != 0, BitVar("b", 1): b&2 != 0,
+			}
+			for i := 0; i < 2; i++ {
+				want := (a^b)>>uint(i)&1 == 1
+				if fns["s"][i].Eval(env) != want {
+					t.Errorf("s[%d] wrong at a=%d b=%d", i, a, b)
+				}
+			}
+			if fns["eq"][0].Eval(env) != (a == b) {
+				t.Errorf("eq wrong at a=%d b=%d", a, b)
+			}
+			if fns["lt"][0].Eval(env) != (a < b) {
+				t.Errorf("lt wrong at a=%d b=%d", a, b)
+			}
+		}
+	}
+}
+
+func TestRTLAdderBlasting(t *testing.T) {
+	d := design(t, `
+module top(a[3], b[3] -> s[3])
+assign s = a + b
+endmodule
+`)
+	fns, err := RTLOutputFunctions(d, []string{"s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			env := map[string]bool{}
+			for i := 0; i < 3; i++ {
+				env[BitVar("a", i)] = a>>uint(i)&1 == 1
+				env[BitVar("b", i)] = b>>uint(i)&1 == 1
+			}
+			sum := (a + b) & 7
+			for i := 0; i < 3; i++ {
+				if fns["s"][i].Eval(env) != (sum>>uint(i)&1 == 1) {
+					t.Errorf("s[%d] wrong at a=%d b=%d", i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRTLOutputFunctionsRejectsState(t *testing.T) {
+	d := design(t, `
+module top(a -> q)
+reg r @phi1
+on phi1: r <= a
+assign q = r
+endmodule
+`)
+	if _, err := RTLOutputFunctions(d, []string{"q"}); err == nil ||
+		!strings.Contains(err.Error(), "combinational") {
+		t.Errorf("state crossing should be rejected, got %v", err)
+	}
+}
+
+// nandCircuit builds y = !(a&b) in static CMOS.
+func nandCircuit() *netlist.Circuit {
+	c := netlist.New("nand2")
+	for _, p := range []string{"a", "b", "y"} {
+		c.DeclarePort(p)
+	}
+	c.NMOS("n1", "a", "mid", "y", 4, 0.75)
+	c.NMOS("n2", "b", "vss", "mid", 4, 0.75)
+	c.PMOS("p1", "a", "vdd", "y", 4, 0.75)
+	c.PMOS("p2", "b", "vdd", "y", 4, 0.75)
+	return c
+}
+
+func TestCompareCombinationalMatch(t *testing.T) {
+	d := design(t, `
+module top(a, b -> y)
+assign y = !(a & b)
+endmodule
+`)
+	rec := recog(t, nandCircuit())
+	results, err := CompareCombinational(d, rec,
+		[]PortMap{{RTLSignal: "a", Bit: 0, Node: "a"}, {RTLSignal: "b", Bit: 0, Node: "b"}},
+		[]PortMap{{RTLSignal: "y", Bit: 0, Node: "y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Equivalent {
+		t.Errorf("NAND circuit should match RTL: %+v", results)
+	}
+}
+
+func TestCompareCombinationalMismatchWithCounterexample(t *testing.T) {
+	// RTL says NOR, circuit is NAND: differs at a=0,b=1 etc.
+	d := design(t, `
+module top(a, b -> y)
+assign y = !(a | b)
+endmodule
+`)
+	rec := recog(t, nandCircuit())
+	results, err := CompareCombinational(d, rec,
+		[]PortMap{{RTLSignal: "a", Bit: 0, Node: "a"}, {RTLSignal: "b", Bit: 0, Node: "b"}},
+		[]PortMap{{RTLSignal: "y", Bit: 0, Node: "y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Equivalent {
+		t.Fatal("NOR vs NAND reported equivalent")
+	}
+	if r.Counterexample == nil {
+		t.Fatal("no counterexample")
+	}
+	// The counterexample must actually distinguish: NOR(a,b) != NAND(a,b).
+	a := r.Counterexample[BitVar("a", 0)]
+	b := r.Counterexample[BitVar("b", 0)]
+	if !(a || b) == !(a && b) {
+		t.Errorf("counterexample a=%v b=%v does not distinguish", a, b)
+	}
+}
+
+func TestCompareMultiLevelCircuit(t *testing.T) {
+	// Two-level circuit: AOI + inverter computes y = a&b | c.
+	c := netlist.New("aoi_buf")
+	for _, p := range []string{"a", "b", "c", "y"} {
+		c.DeclarePort(p)
+	}
+	c.NMOS("n1", "a", "x1", "w", 4, 0.75)
+	c.NMOS("n2", "b", "vss", "x1", 4, 0.75)
+	c.NMOS("n3", "c", "vss", "w", 4, 0.75)
+	c.PMOS("p1", "a", "vdd", "x2", 6, 0.75)
+	c.PMOS("p2", "b", "vdd", "x2", 6, 0.75)
+	c.PMOS("p3", "c", "x2", "w", 6, 0.75)
+	c.NMOS("n4", "w", "vss", "y", 2, 0.75)
+	c.PMOS("p4", "w", "vdd", "y", 4, 0.75)
+	d := design(t, `
+module top(a, b, c -> y)
+assign y = (a & b) | c
+endmodule
+`)
+	rec := recog(t, c)
+	results, err := CompareCombinational(d, rec,
+		[]PortMap{
+			{RTLSignal: "a", Bit: 0, Node: "a"},
+			{RTLSignal: "b", Bit: 0, Node: "b"},
+			{RTLSignal: "c", Bit: 0, Node: "c"},
+		},
+		[]PortMap{{RTLSignal: "y", Bit: 0, Node: "y"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Equivalent {
+		t.Errorf("composed AOI+INV should equal a&b|c: %+v", results[0])
+	}
+}
+
+// counterSrc is the paper's mod-5 counter: "an output every five events".
+const counterSrc = `
+module top(tick -> fire)
+reg cnt[3] @phi1
+on phi1 if tick: cnt <= (cnt == 4) ? 0 : cnt + 1
+assign fire = tick & (cnt == 4)
+endmodule
+`
+
+// ringSrc is the paper's alternative implementation: "a shift register
+// with a cyclic value of five" (5-bit one-hot ring).
+const ringSrc = `
+module top(tick -> fire)
+reg ring[5] @phi1 = 1
+on phi1 if tick: ring <= {ring[3:0], ring[4]}
+assign fire = tick & ring[4]
+endmodule
+`
+
+func TestSeqEquivCounterVsRing(t *testing.T) {
+	a := sim(t, counterSrc)
+	b := sim(t, ringSrc)
+	res, err := SeqEquiv(a, b, []string{"tick"}, []string{"fire"}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("counter and one-hot ring must be equivalent; diverged on %s after %v",
+			res.FailingOutput, res.Counterexample)
+	}
+	if res.StatesExplored < 5 {
+		t.Errorf("explored only %d states", res.StatesExplored)
+	}
+}
+
+func TestSeqEquivCatchesOffByOne(t *testing.T) {
+	// A mod-4 counter is NOT a five-event counter.
+	bad := strings.Replace(counterSrc, "== 4", "== 3", 2)
+	a := sim(t, bad)
+	b := sim(t, ringSrc)
+	res, err := SeqEquiv(a, b, []string{"tick"}, []string{"fire"}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("mod-4 vs mod-5 reported equivalent")
+	}
+	if len(res.Counterexample) == 0 || res.FailingOutput != "fire" {
+		t.Errorf("bad counterexample: %+v", res)
+	}
+	// Replay the counterexample to confirm it is real.
+	a2 := sim(t, bad)
+	b2 := sim(t, ringSrc)
+	for _, env := range res.Counterexample {
+		for k, v := range env {
+			_ = a2.Set(k, v)
+			_ = b2.Set(k, v)
+		}
+		a2.Cycle()
+		b2.Cycle()
+	}
+	if a2.Get("fire") == b2.Get("fire") {
+		t.Error("counterexample does not reproduce the divergence")
+	}
+}
+
+func TestSeqEquivRestoresInitialState(t *testing.T) {
+	a := sim(t, counterSrc)
+	b := sim(t, ringSrc)
+	if _, err := SeqEquiv(a, b, []string{"tick"}, []string{"fire"}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if a.Get("fire") != 0 || b.Get("fire") != 0 {
+		t.Error("sims not restored after equivalence run")
+	}
+}
+
+func TestSeqEquivInputValidation(t *testing.T) {
+	a := sim(t, counterSrc)
+	b := sim(t, ringSrc)
+	if _, err := SeqEquiv(a, b, []string{"nosuch"}, []string{"fire"}, 100); err == nil {
+		t.Error("unknown input accepted")
+	}
+	if _, err := SeqEquiv(a, b, []string{"tick"}, []string{"nosuch"}, 100); err == nil {
+		t.Error("unknown output accepted")
+	}
+	wide := sim(t, "module top(x[32] -> y)\nreg r @phi1\non phi1: r <= redor(x)\nassign y = r\nendmodule")
+	wide2 := sim(t, "module top(x[32] -> y)\nreg r @phi1\non phi1: r <= redor(x)\nassign y = r\nendmodule")
+	if _, err := SeqEquiv(wide, wide2, []string{"x"}, []string{"y"}, 100); err == nil {
+		t.Error("32 input bits should exceed the enumeration bound")
+	}
+}
+
+func TestSeqEquivStateBound(t *testing.T) {
+	// A 16-bit LFSR-ish counter pair blows the tiny state budget.
+	src := `
+module top(en -> out)
+reg c[16] @phi1
+on phi1 if en: c <= c + 1
+assign out = c == 1000
+endmodule
+`
+	a := sim(t, src)
+	b := sim(t, src)
+	if _, err := SeqEquiv(a, b, []string{"en"}, []string{"out"}, 50); err == nil ||
+		!strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("state bound not enforced: %v", err)
+	}
+}
+
+func TestCamRejectedCombinationally(t *testing.T) {
+	d := design(t, `
+module top(k[4] -> h)
+cam c 4 4
+assign h = c.hit(k)
+endmodule
+`)
+	if _, err := RTLOutputFunctions(d, []string{"h"}); err == nil ||
+		!strings.Contains(err.Error(), "SeqEquiv") {
+		t.Errorf("CAM should be rejected combinationally: %v", err)
+	}
+}

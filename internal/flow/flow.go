@@ -1,0 +1,282 @@
+// Package flow is the design-flow engine of §2.4 (Figure 2).
+//
+// "The design flow used for ALPHA CPU designs is similar in appearance
+// to many other design flows ... Although this appears as a
+// top-to-bottom flow, there are actually many bottom-to-top
+// interactions. For instance, there are many feasibility studies on
+// different circuit implementations during the development of the RTL
+// ... Physical floorplanning also occurs during all design phases."
+//
+// The engine runs a DAG of named steps in dependency order, but any step
+// may request that an *earlier* step re-run (a feedback edge). Execution
+// iterates until a pass completes with no feedback, recording the full
+// trace — which makes the bottom-to-top structure of Figure 2 observable
+// rather than anecdotal.
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Context is passed to every step: a shared blackboard plus the feedback
+// request mechanism.
+type Context struct {
+	// Values is the inter-step blackboard.
+	Values map[string]interface{}
+	// Iteration is the current pass number (1-based).
+	Iteration int
+
+	rerun map[string]bool
+	flow  *Flow
+}
+
+// RequestRerun asks for an earlier step to run again after this pass — a
+// bottom-to-top interaction. Requesting an unknown step is an error at
+// collection time.
+func (c *Context) RequestRerun(step string) {
+	c.rerun[step] = true
+}
+
+// StepFunc is a step's work function.
+type StepFunc func(*Context) error
+
+// Step is one box of the flow diagram.
+type Step struct {
+	// Name identifies the step.
+	Name string
+	// Deps are the steps that must complete before this one.
+	Deps []string
+	// Run does the work (nil = structural placeholder).
+	Run StepFunc
+}
+
+// Flow is the step DAG.
+type Flow struct {
+	steps map[string]*Step
+	order []string // insertion order for stable topo ties
+}
+
+// New returns an empty flow.
+func New() *Flow {
+	return &Flow{steps: make(map[string]*Step)}
+}
+
+// Add registers a step.
+func (f *Flow) Add(name string, run StepFunc, deps ...string) error {
+	if _, dup := f.steps[name]; dup {
+		return fmt.Errorf("flow: duplicate step %q", name)
+	}
+	f.steps[name] = &Step{Name: name, Deps: deps, Run: run}
+	f.order = append(f.order, name)
+	return nil
+}
+
+// topo returns a dependency-ordered step list or a cycle error.
+func (f *Flow) topo() ([]string, error) {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make(map[string]int, len(f.steps))
+	var out []string
+	var visit func(name string) error
+	visit = func(name string) error {
+		s, ok := f.steps[name]
+		if !ok {
+			return fmt.Errorf("flow: dependency on unknown step %q", name)
+		}
+		switch color[name] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("flow: dependency cycle through %q", name)
+		}
+		color[name] = grey
+		deps := append([]string(nil), s.Deps...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		out = append(out, name)
+		return nil
+	}
+	for _, name := range f.order {
+		if err := visit(name); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TraceEntry records one step execution.
+type TraceEntry struct {
+	Step      string
+	Iteration int
+	Feedback  []string // reruns the step requested
+}
+
+// Result is a completed flow run.
+type Result struct {
+	// Trace is the full execution history in order.
+	Trace []TraceEntry
+	// Iterations is the number of passes until quiescence.
+	Iterations int
+	// Values is the final blackboard.
+	Values map[string]interface{}
+}
+
+// Executions counts how many times a step ran.
+func (r *Result) Executions(step string) int {
+	n := 0
+	for _, e := range r.Trace {
+		if e.Step == step {
+			n++
+		}
+	}
+	return n
+}
+
+// TraceString renders the trace compactly ("rtl schematic layout |
+// rtl(schematic feedback) ...").
+func (r *Result) TraceString() string {
+	var parts []string
+	for _, e := range r.Trace {
+		s := e.Step
+		if len(e.Feedback) > 0 {
+			s += "→(" + strings.Join(e.Feedback, ",") + ")"
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// MaxIterations bounds feedback convergence.
+const MaxIterations = 20
+
+// Run executes the flow: a full topological pass, then — while any step
+// requested feedback — re-passes running only the requested steps and
+// everything downstream of them.
+func (f *Flow) Run() (*Result, error) {
+	order, err := f.topo()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Values: make(map[string]interface{})}
+	needed := make(map[string]bool, len(order))
+	for _, s := range order {
+		needed[s] = true
+	}
+	for iter := 1; ; iter++ {
+		if iter > MaxIterations {
+			return nil, fmt.Errorf("flow: no convergence after %d iterations (livelocked feedback)", MaxIterations)
+		}
+		res.Iterations = iter
+		ctx := &Context{
+			Values:    res.Values,
+			Iteration: iter,
+			rerun:     make(map[string]bool),
+			flow:      f,
+		}
+		// Downstream closure: a rerun step invalidates its dependents.
+		for _, name := range order {
+			if !needed[name] {
+				continue
+			}
+			s := f.steps[name]
+			entry := TraceEntry{Step: name, Iteration: iter}
+			before := len(ctx.rerun)
+			if s.Run != nil {
+				if err := s.Run(ctx); err != nil {
+					return res, fmt.Errorf("flow: step %s: %w", name, err)
+				}
+			}
+			if len(ctx.rerun) > before {
+				for r := range ctx.rerun {
+					entry.Feedback = append(entry.Feedback, r)
+				}
+				sort.Strings(entry.Feedback)
+			}
+			res.Trace = append(res.Trace, entry)
+		}
+		if len(ctx.rerun) == 0 {
+			return res, nil
+		}
+		// Validate and schedule: requested steps plus dependents.
+		for r := range ctx.rerun {
+			if _, ok := f.steps[r]; !ok {
+				return res, fmt.Errorf("flow: feedback to unknown step %q", r)
+			}
+		}
+		needed = f.downstreamClosure(order, ctx.rerun)
+	}
+}
+
+// downstreamClosure marks the requested steps and everything that
+// (transitively) depends on them.
+func (f *Flow) downstreamClosure(order []string, seeds map[string]bool) map[string]bool {
+	need := make(map[string]bool, len(seeds))
+	for s := range seeds {
+		need[s] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, name := range order {
+			if need[name] {
+				continue
+			}
+			for _, d := range f.steps[name].Deps {
+				if need[d] {
+					need[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return need
+}
+
+// ALPHAFlow builds the Figure 2 flow with its canonical feedback edges:
+// schematic-stage feasibility studies push back into the RTL, and
+// floorplanning during layout pushes back into the schematic. The
+// supplied hooks let callers attach real work; nil hooks make the flow
+// purely structural. feasibilityIters and floorplanIters say how many
+// passes the respective feedback fires for (modelling studies that
+// converge).
+func ALPHAFlow(feasibilityIters, floorplanIters int) *Flow {
+	f := New()
+	must := func(err error) {
+		if err != nil {
+			panic(err) // static construction; cannot fail
+		}
+	}
+	must(f.Add("behavioral-rtl", nil))
+	must(f.Add("schematic", func(c *Context) error {
+		if c.Iteration <= feasibilityIters {
+			// A feasibility study found a faster circuit topology that
+			// needs a different RTL split (§2.4).
+			c.RequestRerun("behavioral-rtl")
+		}
+		return nil
+	}, "behavioral-rtl"))
+	must(f.Add("layout", func(c *Context) error {
+		if c.Iteration <= floorplanIters {
+			// Floorplanning moved a function across a boundary (§2.1).
+			c.RequestRerun("schematic")
+		}
+		return nil
+	}, "schematic"))
+	must(f.Add("extract", nil, "layout"))
+	must(f.Add("logic-verify", nil, "schematic", "behavioral-rtl"))
+	must(f.Add("circuit-verify", nil, "extract"))
+	must(f.Add("timing-verify", nil, "extract"))
+	must(f.Add("tapeout", nil, "logic-verify", "circuit-verify", "timing-verify"))
+	return f
+}

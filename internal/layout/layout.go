@@ -1,0 +1,319 @@
+// Package layout is the macrocell layout-assist engine of §2.2:
+//
+//	"CAD layout synthesis and assistance tools have had a greater impact
+//	in our layout creation. The emphasis of these layout generation
+//	tools is to assist in the creation of macrocells, at the level of
+//	transistor place and route."
+//
+// The generator places a flat transistor circuit in the classic
+// two-row macrocell style (PMOS row over NMOS row), ordering devices to
+// maximize diffusion sharing (abutting source/drain), then estimates the
+// routing channel height with the left-edge interval algorithm, total
+// area, per-net wirelength — and per-net antenna ratios, which feed the
+// §4.2 antenna check.
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/process"
+)
+
+// Placement is one device's position in the macrocell.
+type Placement struct {
+	Device *netlist.Device
+	// Column is the horizontal slot (0-based).
+	Column int
+	// XUM is the left edge in µm.
+	XUM float64
+	// Flipped reports source/drain order was reversed to share
+	// diffusion with the left neighbour.
+	Flipped bool
+	// SharesLeft reports the left diffusion abuts the neighbour.
+	SharesLeft bool
+}
+
+// Macrocell is a placed-and-estimated cell.
+type Macrocell struct {
+	Circuit *netlist.Circuit
+	// PRow and NRow are placements left to right.
+	PRow, NRow []Placement
+	// WidthUM and HeightUM bound the cell.
+	WidthUM, HeightUM float64
+	// Tracks is the routing channel height in tracks (left-edge).
+	Tracks int
+	// WirelengthUM is total estimated net wirelength.
+	WirelengthUM float64
+	// DiffusionBreaks counts unshared diffusion gaps (area cost).
+	DiffusionBreaks int
+	// AntennaRatios estimates metal-to-gate area ratio per net name.
+	AntennaRatios map[string]float64
+}
+
+// Geometry constants (µm) for the 0.75 µm generation: device pitch,
+// diffusion gap, track pitch, metal width.
+const (
+	colPitch   = 3.0
+	diffGap    = 1.5
+	trackPitch = 2.25
+	rowHeight  = 12.0
+	metalWidth = 1.0
+)
+
+// Place builds the macrocell for a flat circuit.
+func Place(c *netlist.Circuit, proc *process.Process) (*Macrocell, error) {
+	if len(c.Instances) > 0 {
+		return nil, fmt.Errorf("layout: circuit %s has unflattened instances", c.Name)
+	}
+	if len(c.Devices) == 0 {
+		return nil, fmt.Errorf("layout: circuit %s has no devices", c.Name)
+	}
+	m := &Macrocell{Circuit: c, AntennaRatios: make(map[string]float64)}
+	var ps, ns []*netlist.Device
+	for _, d := range c.Devices {
+		if d.Type == process.PMOS {
+			ps = append(ps, d)
+		} else {
+			ns = append(ns, d)
+		}
+	}
+	m.PRow = placeRow(c, ps)
+	m.NRow = placeRow(c, ns)
+	for _, row := range [][]Placement{m.PRow, m.NRow} {
+		for _, p := range row {
+			if !p.SharesLeft && p.Column > 0 {
+				m.DiffusionBreaks++
+			}
+		}
+	}
+	cols := len(m.PRow)
+	if len(m.NRow) > cols {
+		cols = len(m.NRow)
+	}
+	m.WidthUM = float64(cols)*colPitch + float64(m.DiffusionBreaks)*diffGap
+
+	// Channel routing: each net spans the columns of its terminals;
+	// left-edge packing of the intervals gives the track count.
+	spans := netSpans(c, m)
+	m.Tracks = leftEdge(spans)
+	m.HeightUM = 2*rowHeight + float64(m.Tracks)*trackPitch
+
+	// Wirelength: horizontal span plus one vertical drop per terminal.
+	for _, sp := range spans {
+		m.WirelengthUM += (sp.hi - sp.lo) * colPitch
+		m.WirelengthUM += float64(sp.terms) * rowHeight / 2
+	}
+
+	// Antenna ratio per net: metal area / connected gate area. Nets
+	// with no gate terminal get no entry (no gate to damage).
+	gateArea := make(map[string]float64)
+	metal := make(map[string]float64)
+	for _, sp := range spans {
+		metal[sp.name] = ((sp.hi-sp.lo)*colPitch + rowHeight) * metalWidth
+	}
+	for _, d := range c.Devices {
+		if !c.IsSupply(d.Gate) {
+			gateArea[c.NodeName(d.Gate)] += d.W * d.Leff()
+		}
+	}
+	for net, ga := range gateArea {
+		if ga > 0 {
+			m.AntennaRatios[net] = metal[net] / ga
+		}
+	}
+	return m, nil
+}
+
+// placeRow greedily chains devices that can share a diffusion: starting
+// from an arbitrary device, prefer a next device sharing a source/drain
+// net with the current right edge (the linear-time cousin of the
+// Eulerian-trail pairing heuristic).
+func placeRow(c *netlist.Circuit, devs []*netlist.Device) []Placement {
+	used := make([]bool, len(devs))
+	var out []Placement
+	x := 0.0
+	col := 0
+	rightNet := netlist.InvalidNode
+	for placed := 0; placed < len(devs); placed++ {
+		// Find the best next device: one whose source or drain matches
+		// the current right edge net.
+		best := -1
+		flip := false
+		for i, d := range devs {
+			if used[i] {
+				continue
+			}
+			switch rightNet {
+			case d.Source:
+				best, flip = i, false
+			case d.Drain:
+				best, flip = i, true
+			}
+			if best == i {
+				break
+			}
+		}
+		shares := best >= 0
+		if best < 0 {
+			for i := range devs {
+				if !used[i] {
+					best = i
+					break
+				}
+			}
+			if col > 0 {
+				x += diffGap
+			}
+			// Orient a fresh chain start toward its successors: put the
+			// terminal with more unused neighbours on the right.
+			d := devs[best]
+			countTouch := func(n netlist.NodeID) int {
+				cnt := 0
+				for i, o := range devs {
+					if used[i] || o == d {
+						continue
+					}
+					if o.Source == n || o.Drain == n {
+						cnt++
+					}
+				}
+				return cnt
+			}
+			if countTouch(d.Source) > countTouch(d.Drain) {
+				flip = true // put Source on the right
+			}
+		}
+		d := devs[best]
+		used[best] = true
+		right := d.Drain
+		if flip {
+			right = d.Source
+		}
+		out = append(out, Placement{
+			Device:     d,
+			Column:     col,
+			XUM:        x,
+			Flipped:    flip,
+			SharesLeft: shares && col > 0,
+		})
+		rightNet = right
+		x += colPitch
+		col++
+	}
+	return out
+}
+
+// span is a net's horizontal interval in columns.
+type span struct {
+	name   string
+	lo, hi float64
+	terms  int
+}
+
+// netSpans computes per-net column intervals over both rows.
+func netSpans(c *netlist.Circuit, m *Macrocell) []span {
+	type acc struct {
+		lo, hi float64
+		terms  int
+		seen   bool
+	}
+	accs := make(map[string]*acc)
+	note := func(id netlist.NodeID, col int) {
+		if c.IsSupply(id) {
+			return // rails run in the rows, not the channel
+		}
+		name := c.NodeName(id)
+		a, ok := accs[name]
+		if !ok {
+			a = &acc{lo: float64(col), hi: float64(col)}
+			accs[name] = a
+		}
+		if float64(col) < a.lo {
+			a.lo = float64(col)
+		}
+		if float64(col) > a.hi {
+			a.hi = float64(col)
+		}
+		a.terms++
+	}
+	for _, row := range [][]Placement{m.PRow, m.NRow} {
+		for _, p := range row {
+			note(p.Device.Gate, p.Column)
+			note(p.Device.Source, p.Column)
+			note(p.Device.Drain, p.Column)
+		}
+	}
+	names := make([]string, 0, len(accs))
+	for n := range accs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]span, 0, len(names))
+	for _, n := range names {
+		a := accs[n]
+		out = append(out, span{name: n, lo: a.lo, hi: a.hi, terms: a.terms})
+	}
+	return out
+}
+
+// leftEdge packs intervals into tracks (classic channel router density):
+// sort by left edge; greedily assign each interval to the first track
+// whose last interval ends before it starts.
+func leftEdge(spans []span) int {
+	// Single-column nets need no channel track.
+	var ivs []span
+	for _, s := range spans {
+		if s.hi > s.lo {
+			ivs = append(ivs, s)
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var trackEnd []float64
+	for _, iv := range ivs {
+		placed := false
+		for t := range trackEnd {
+			if trackEnd[t] < iv.lo {
+				trackEnd[t] = iv.hi
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			trackEnd = append(trackEnd, iv.hi)
+		}
+	}
+	return len(trackEnd)
+}
+
+// AreaUM2 returns the cell's estimated area.
+func (m *Macrocell) AreaUM2() float64 { return m.WidthUM * m.HeightUM }
+
+// SharingRatio returns the fraction of possible diffusion abutments
+// achieved — the placement-quality metric the generator optimizes.
+func (m *Macrocell) SharingRatio() float64 {
+	possible := 0
+	shared := 0
+	for _, row := range [][]Placement{m.PRow, m.NRow} {
+		if len(row) > 1 {
+			possible += len(row) - 1
+		}
+		for _, p := range row {
+			if p.SharesLeft {
+				shared++
+			}
+		}
+	}
+	if possible == 0 {
+		return 1
+	}
+	return float64(shared) / float64(possible)
+}
+
+// Summary formats the estimate.
+func (m *Macrocell) Summary() string {
+	return fmt.Sprintf("%s: %.1f×%.1f µm (%.0f µm²), %d tracks, %.0f µm wire, sharing %.0f%%",
+		m.Circuit.Name, m.WidthUM, m.HeightUM, m.AreaUM2(), m.Tracks,
+		m.WirelengthUM, m.SharingRatio()*100)
+}

@@ -1,0 +1,354 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ref is a reference to a BDD node within one manager. The constants
+// RefFalse and RefTrue are the terminal nodes; all other refs index the
+// manager's node table.
+type Ref int32
+
+// Terminal node references.
+const (
+	RefFalse Ref = 0
+	RefTrue  Ref = 1
+)
+
+// bddNode is an internal decision node: if var then hi else lo.
+type bddNode struct {
+	level  int32 // variable order position
+	lo, hi Ref
+}
+
+// BDD is a reduced ordered binary decision diagram manager with a
+// hash-consed unique table and memoized apply operations. Canonicity
+// guarantee: two functions over the same manager are equal iff their Refs
+// are equal — this is what makes the §4.1 equivalence check a pointer
+// comparison.
+type BDD struct {
+	nodes   []bddNode
+	unique  map[bddNode]Ref
+	vars    []string
+	varIdx  map[string]int32
+	iteMemo map[iteKey]Ref
+}
+
+type iteKey struct{ f, g, h Ref }
+
+// NewBDD returns an empty manager.
+func NewBDD() *BDD {
+	b := &BDD{
+		unique:  make(map[bddNode]Ref),
+		varIdx:  make(map[string]int32),
+		iteMemo: make(map[iteKey]Ref),
+	}
+	// Reserve slots 0/1 for terminals (level math.MaxInt32 semantics
+	// handled via level accessor).
+	b.nodes = append(b.nodes, bddNode{}, bddNode{})
+	return b
+}
+
+// Var returns the function of the named variable, registering it at the
+// end of the current order if new. Variable order is registration order;
+// callers that care should register in a deliberate order before building.
+func (b *BDD) Var(name string) Ref {
+	idx, ok := b.varIdx[name]
+	if !ok {
+		idx = int32(len(b.vars))
+		b.vars = append(b.vars, name)
+		b.varIdx[name] = idx
+	}
+	return b.mk(idx, RefFalse, RefTrue)
+}
+
+// VarName returns the name of the variable at order position i.
+func (b *BDD) VarName(i int) string { return b.vars[i] }
+
+// NumVars returns the number of registered variables.
+func (b *BDD) NumVars() int { return len(b.vars) }
+
+// Size returns the number of decision nodes allocated (excluding
+// terminals) — the usual BDD cost metric.
+func (b *BDD) Size() int { return len(b.nodes) - 2 }
+
+// level returns the variable level of a ref; terminals sort below all
+// variables.
+func (b *BDD) level(r Ref) int32 {
+	if r == RefFalse || r == RefTrue {
+		return int32(1 << 30)
+	}
+	return b.nodes[r].level
+}
+
+// mk returns the canonical node (level, lo, hi), applying the reduction
+// rules (no redundant tests, shared subgraphs).
+func (b *BDD) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := bddNode{level, lo, hi}
+	if r, ok := b.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(b.nodes))
+	b.nodes = append(b.nodes, key)
+	b.unique[key] = r
+	return r
+}
+
+// Ite computes if-then-else(f, g, h), the universal BDD operation.
+func (b *BDD) Ite(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == RefTrue:
+		return g
+	case f == RefFalse:
+		return h
+	case g == h:
+		return g
+	case g == RefTrue && h == RefFalse:
+		return f
+	}
+	key := iteKey{f, g, h}
+	if r, ok := b.iteMemo[key]; ok {
+		return r
+	}
+	// Split on the top variable.
+	top := b.level(f)
+	if l := b.level(g); l < top {
+		top = l
+	}
+	if l := b.level(h); l < top {
+		top = l
+	}
+	f0, f1 := b.cofactors(f, top)
+	g0, g1 := b.cofactors(g, top)
+	h0, h1 := b.cofactors(h, top)
+	lo := b.Ite(f0, g0, h0)
+	hi := b.Ite(f1, g1, h1)
+	r := b.mk(top, lo, hi)
+	b.iteMemo[key] = r
+	return r
+}
+
+// cofactors returns the negative and positive cofactors of r with respect
+// to the variable at the given level.
+func (b *BDD) cofactors(r Ref, level int32) (lo, hi Ref) {
+	if b.level(r) != level {
+		return r, r
+	}
+	n := b.nodes[r]
+	return n.lo, n.hi
+}
+
+// Not returns ¬f.
+func (b *BDD) Not(f Ref) Ref { return b.Ite(f, RefFalse, RefTrue) }
+
+// And returns the conjunction of fs.
+func (b *BDD) And(fs ...Ref) Ref {
+	r := RefTrue
+	for _, f := range fs {
+		r = b.Ite(r, f, RefFalse)
+	}
+	return r
+}
+
+// Or returns the disjunction of fs.
+func (b *BDD) Or(fs ...Ref) Ref {
+	r := RefFalse
+	for _, f := range fs {
+		r = b.Ite(f, RefTrue, r)
+	}
+	return r
+}
+
+// Xor returns the exclusive-or of fs.
+func (b *BDD) Xor(fs ...Ref) Ref {
+	r := RefFalse
+	for _, f := range fs {
+		r = b.Ite(f, b.Not(r), r)
+	}
+	return r
+}
+
+// Implies returns f → g.
+func (b *BDD) Implies(f, g Ref) Ref { return b.Ite(f, g, RefTrue) }
+
+// FromExpr builds the BDD of an expression.
+func (b *BDD) FromExpr(e Expr) Ref {
+	switch v := e.(type) {
+	case Const:
+		if v {
+			return RefTrue
+		}
+		return RefFalse
+	case Var:
+		return b.Var(string(v))
+	case *NotExpr:
+		return b.Not(b.FromExpr(v.X))
+	case *NaryExpr:
+		refs := make([]Ref, len(v.Xs))
+		for i, x := range v.Xs {
+			refs[i] = b.FromExpr(x)
+		}
+		switch v.Op {
+		case OpAnd:
+			return b.And(refs...)
+		case OpOr:
+			return b.Or(refs...)
+		default:
+			return b.Xor(refs...)
+		}
+	}
+	panic(fmt.Sprintf("logic: unknown expression type %T", e))
+}
+
+// Eval evaluates f under an assignment. Unassigned variables read false.
+func (b *BDD) Eval(f Ref, env map[string]bool) bool {
+	for f != RefTrue && f != RefFalse {
+		n := b.nodes[f]
+		if env[b.vars[n.level]] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == RefTrue
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// registered variables.
+func (b *BDD) SatCount(f Ref) float64 {
+	memo := make(map[Ref]float64)
+	var count func(r Ref, level int32) float64
+	count = func(r Ref, level int32) float64 {
+		if r == RefFalse {
+			return 0
+		}
+		nvars := int32(len(b.vars))
+		if r == RefTrue {
+			return pow2(nvars - level)
+		}
+		n := b.nodes[r]
+		key := r
+		var base float64
+		if v, ok := memo[key]; ok {
+			base = v
+		} else {
+			base = count(n.lo, n.level+1) + count(n.hi, n.level+1)
+			memo[key] = base
+		}
+		return base * pow2(n.level-level)
+	}
+	return count(f, 0)
+}
+
+// pow2 returns 2^n as a float64 for nonnegative n.
+func pow2(n int32) float64 {
+	v := 1.0
+	for i := int32(0); i < n; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// AnySat returns one satisfying assignment of f (over the variables on
+// the satisfying path; others are unconstrained) or nil if unsatisfiable.
+func (b *BDD) AnySat(f Ref) map[string]bool {
+	if f == RefFalse {
+		return nil
+	}
+	env := make(map[string]bool)
+	for f != RefTrue {
+		n := b.nodes[f]
+		if n.hi != RefFalse {
+			env[b.vars[n.level]] = true
+			f = n.hi
+		} else {
+			env[b.vars[n.level]] = false
+			f = n.lo
+		}
+	}
+	return env
+}
+
+// Support returns the sorted names of variables f actually depends on.
+func (b *BDD) Support(f Ref) []string {
+	seen := make(map[Ref]bool)
+	vars := make(map[string]bool)
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r == RefTrue || r == RefFalse || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := b.nodes[r]
+		vars[b.vars[n.level]] = true
+		walk(n.lo)
+		walk(n.hi)
+	}
+	walk(f)
+	out := make([]string, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Restrict returns f with the named variable fixed to val.
+func (b *BDD) Restrict(f Ref, name string, val bool) Ref {
+	idx, ok := b.varIdx[name]
+	if !ok {
+		return f
+	}
+	memo := make(map[Ref]Ref)
+	var walk func(Ref) Ref
+	walk = func(r Ref) Ref {
+		if r == RefTrue || r == RefFalse {
+			return r
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := b.nodes[r]
+		var out Ref
+		switch {
+		case n.level == idx && val:
+			out = walk(n.hi)
+		case n.level == idx:
+			out = walk(n.lo)
+		case n.level > idx:
+			out = r
+		default:
+			out = b.mk(n.level, walk(n.lo), walk(n.hi))
+		}
+		memo[r] = out
+		return out
+	}
+	return walk(f)
+}
+
+// Exists returns ∃name. f — the disjunction of both restrictions.
+func (b *BDD) Exists(f Ref, name string) Ref {
+	return b.Or(b.Restrict(f, name, false), b.Restrict(f, name, true))
+}
+
+// ExistsAll quantifies out every name in names.
+func (b *BDD) ExistsAll(f Ref, names []string) Ref {
+	for _, n := range names {
+		f = b.Exists(f, n)
+	}
+	return f
+}
+
+// Compose substitutes function g for variable name inside f.
+func (b *BDD) Compose(f Ref, name string, g Ref) Ref {
+	v := b.Var(name)
+	// f[name := g] = ite(g, f|name=1, f|name=0); v is only used to
+	// ensure registration.
+	_ = v
+	return b.Ite(g, b.Restrict(f, name, true), b.Restrict(f, name, false))
+}

@@ -1,0 +1,125 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TruthTable is the exhaustive function table of a small boolean function
+// (up to 20 inputs). It is the recognizer's canonical "name" for a
+// deduced circuit function: two channel-connected components implement
+// the same logic iff their tables over the same ordered inputs are equal.
+type TruthTable struct {
+	// Inputs is the ordered input names.
+	Inputs []string
+	// Bits holds one bit per input assignment; assignment i sets
+	// input k to bit k of i. Packed 64 per word.
+	Bits []uint64
+}
+
+// maxTTInputs bounds table size to 2^20 rows (128 KiB of bits).
+const maxTTInputs = 20
+
+// TableFromExpr evaluates e over the given ordered inputs.
+func TableFromExpr(e Expr, inputs []string) (*TruthTable, error) {
+	if len(inputs) > maxTTInputs {
+		return nil, fmt.Errorf("logic: truth table over %d inputs exceeds the %d-input limit", len(inputs), maxTTInputs)
+	}
+	rows := 1 << len(inputs)
+	tt := &TruthTable{
+		Inputs: append([]string(nil), inputs...),
+		Bits:   make([]uint64, (rows+63)/64),
+	}
+	env := make(map[string]bool, len(inputs))
+	for i := 0; i < rows; i++ {
+		for k, name := range inputs {
+			env[name] = i&(1<<k) != 0
+		}
+		if e.Eval(env) {
+			tt.Bits[i/64] |= 1 << (i % 64)
+		}
+	}
+	return tt, nil
+}
+
+// Rows returns the number of assignments.
+func (t *TruthTable) Rows() int { return 1 << len(t.Inputs) }
+
+// Get returns the output for assignment index i.
+func (t *TruthTable) Get(i int) bool { return t.Bits[i/64]&(1<<(i%64)) != 0 }
+
+// Equal reports whether two tables are the same function over the same
+// ordered inputs.
+func (t *TruthTable) Equal(o *TruthTable) bool {
+	if len(t.Inputs) != len(o.Inputs) {
+		return false
+	}
+	for i := range t.Inputs {
+		if t.Inputs[i] != o.Inputs[i] {
+			return false
+		}
+	}
+	for i := range t.Bits {
+		if t.Bits[i] != o.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string fingerprint usable as a map key (inputs
+// are not included — use for shape classification).
+func (t *TruthTable) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:", len(t.Inputs))
+	for _, w := range t.Bits {
+		fmt.Fprintf(&sb, "%016x", w)
+	}
+	return sb.String()
+}
+
+// OnesCount returns the number of true rows.
+func (t *TruthTable) OnesCount() int {
+	n := 0
+	for i := 0; i < t.Rows(); i++ {
+		if t.Get(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// IsConstant reports whether the function ignores its inputs, and which
+// constant it is.
+func (t *TruthTable) IsConstant() (bool, bool) {
+	ones := t.OnesCount()
+	switch ones {
+	case 0:
+		return true, false
+	case t.Rows():
+		return true, true
+	}
+	return false, false
+}
+
+// String renders the table with one row per assignment, LSB-first inputs.
+func (t *TruthTable) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Inputs, " "))
+	sb.WriteString(" | f\n")
+	for i := 0; i < t.Rows(); i++ {
+		for k := range t.Inputs {
+			if i&(1<<k) != 0 {
+				sb.WriteString("1 ")
+			} else {
+				sb.WriteString("0 ")
+			}
+		}
+		if t.Get(i) {
+			sb.WriteString("| 1\n")
+		} else {
+			sb.WriteString("| 0\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,360 @@
+// SPICE-subset reader and writer. The toolkit's native interchange format
+// is the universally understood SPICE deck: .subckt/.ends hierarchy,
+// M/C/R/X elements, and name=value device parameters. Only the structural
+// subset the verification tools need is supported — no analyses, models
+// or simulation cards.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/process"
+)
+
+// ParseError describes a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("spice: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a SPICE-subset deck and returns a library of the
+// subcircuits it defines plus a top-level circuit holding any elements
+// outside .subckt blocks (named "top"). Supported cards:
+//
+//	.subckt NAME port...  /  .ends
+//	Mname drain gate source bulk {nmos|pmos} w=.. l=.. [extral=..] [vt={svt|lvt|hvt}]
+//	Cname node node value          (farads with suffixes, or fF with "f" ambiguity resolved as femto)
+//	Rname node node value
+//	Xname node... CELLNAME
+//	*attr node key=value           (node attribute annotation comment)
+//
+// Continuation lines start with "+". Comments start with "*" or ";"
+// (except the *attr form). Names are case-preserved except supplies.
+func Parse(r io.Reader) (*Library, *Circuit, error) {
+	lib := NewLibrary()
+	top := New("top")
+	cur := top
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		lines   []string
+		lineNos []int
+		lineNo  int
+	)
+	for sc.Scan() {
+		lineNo++
+		raw := strings.TrimRight(sc.Text(), " \t\r")
+		if strings.HasPrefix(raw, "+") && len(lines) > 0 {
+			lines[len(lines)-1] += " " + strings.TrimSpace(raw[1:])
+			continue
+		}
+		lines = append(lines, raw)
+		lineNos = append(lineNos, lineNo)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("spice: read: %w", err)
+	}
+
+	inSub := false
+	for i, raw := range lines {
+		no := lineNos[i]
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "*attr "):
+			if err := parseAttr(cur, line[len("*attr "):]); err != nil {
+				return nil, nil, &ParseError{no, err.Error()}
+			}
+			continue
+		case strings.HasPrefix(line, "*"), strings.HasPrefix(line, ";"):
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case lower == ".end":
+			// done
+		case strings.HasPrefix(lower, ".subckt"):
+			if inSub {
+				return nil, nil, &ParseError{no, "nested .subckt not supported"}
+			}
+			if len(fields) < 2 {
+				return nil, nil, &ParseError{no, ".subckt needs a name"}
+			}
+			cur = New(fields[1])
+			for _, p := range fields[2:] {
+				cur.DeclarePort(p)
+			}
+			inSub = true
+		case strings.HasPrefix(lower, ".ends"):
+			if !inSub {
+				return nil, nil, &ParseError{no, ".ends without .subckt"}
+			}
+			lib.Add(cur)
+			cur = top
+			inSub = false
+		case strings.HasPrefix(lower, ".global"), strings.HasPrefix(lower, ".option"):
+			// Accepted and ignored: supplies are already global.
+		case strings.HasPrefix(lower, "."):
+			return nil, nil, &ParseError{no, fmt.Sprintf("unsupported card %q", fields[0])}
+		default:
+			if err := parseElement(cur, fields); err != nil {
+				return nil, nil, &ParseError{no, err.Error()}
+			}
+		}
+	}
+	if inSub {
+		return nil, nil, &ParseError{lineNo, "missing .ends"}
+	}
+	return lib, top, nil
+}
+
+// parseAttr handles "*attr node key=value" annotations.
+func parseAttr(c *Circuit, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return fmt.Errorf("*attr needs node and key[=value]")
+	}
+	id := c.Node(fields[0])
+	for _, kv := range fields[1:] {
+		k, v, _ := strings.Cut(kv, "=")
+		c.SetAttr(id, k, v)
+	}
+	return nil
+}
+
+// parseElement dispatches one element card to its handler.
+func parseElement(c *Circuit, fields []string) error {
+	name := fields[0]
+	switch strings.ToLower(name[:1]) {
+	case "m":
+		return parseMOS(c, fields)
+	case "c":
+		if len(fields) != 4 {
+			return fmt.Errorf("capacitor %s: want C name a b value", name)
+		}
+		v, err := parseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("capacitor %s: %v", name, err)
+		}
+		// Store as grounded cap on the non-supply end; if both ends
+		// are signals, split evenly (coupling belongs to parasitics).
+		fF := v * 1e15
+		a, b := c.Node(fields[1]), c.Node(fields[2])
+		switch {
+		case c.IsSupply(a) && c.IsSupply(b):
+			// decoupling cap: no signal load
+		case c.IsSupply(b):
+			c.Nodes[a].CapFF += fF
+		case c.IsSupply(a):
+			c.Nodes[b].CapFF += fF
+		default:
+			c.Nodes[a].CapFF += fF / 2
+			c.Nodes[b].CapFF += fF / 2
+		}
+		return nil
+	case "r":
+		if len(fields) != 4 {
+			return fmt.Errorf("resistor %s: want R name a b value", name)
+		}
+		v, err := parseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("resistor %s: %v", name, err)
+		}
+		c.AddResistor(name, fields[1], fields[2], v)
+		return nil
+	case "x":
+		if len(fields) < 3 {
+			return fmt.Errorf("instance %s: want X name node... cell", name)
+		}
+		cell := fields[len(fields)-1]
+		c.AddInstance(name, cell, fields[1:len(fields)-1]...)
+		return nil
+	}
+	return fmt.Errorf("unknown element %q", name)
+}
+
+// parseMOS handles "Mname d g s b type params".
+func parseMOS(c *Circuit, fields []string) error {
+	if len(fields) < 6 {
+		return fmt.Errorf("device %s: want M name d g s b model params", fields[0])
+	}
+	var dt process.DeviceType
+	model := strings.ToLower(fields[5])
+	switch {
+	case strings.HasPrefix(model, "n"):
+		dt = process.NMOS
+	case strings.HasPrefix(model, "p"):
+		dt = process.PMOS
+	default:
+		return fmt.Errorf("device %s: unknown model %q", fields[0], fields[5])
+	}
+	d := c.AddDevice(fields[0], dt, fields[2], fields[3], fields[1], fields[4], 0, 0)
+	for _, kv := range fields[6:] {
+		k, v, ok := strings.Cut(strings.ToLower(kv), "=")
+		if !ok {
+			return fmt.Errorf("device %s: malformed parameter %q", fields[0], kv)
+		}
+		switch k {
+		case "w", "l", "extral":
+			val, err := parseValue(v)
+			if err != nil {
+				return fmt.Errorf("device %s: %s: %v", fields[0], k, err)
+			}
+			// Geometry in the deck may be in metres (SPICE) or µm
+			// (bare small numbers): values below 1e-3 are metres.
+			if val < 1e-3 {
+				val *= 1e6
+			}
+			switch k {
+			case "w":
+				d.W = val
+			case "l":
+				d.L = val
+			case "extral":
+				d.ExtraL = val
+			}
+		case "vt":
+			switch v {
+			case "svt":
+				d.Vt = process.StandardVt
+			case "lvt":
+				d.Vt = process.LowVt
+			case "hvt":
+				d.Vt = process.HighVt
+			default:
+				return fmt.Errorf("device %s: unknown vt class %q", fields[0], v)
+			}
+		case "m", "nf", "ad", "as", "pd", "ps":
+			// Accepted and ignored layout parameters.
+		default:
+			return fmt.Errorf("device %s: unknown parameter %q", fields[0], k)
+		}
+	}
+	if d.W <= 0 || d.L <= 0 {
+		return fmt.Errorf("device %s: missing w/l", fields[0])
+	}
+	return nil
+}
+
+// suffixes maps SPICE magnitude suffixes to multipliers.
+var suffixes = []struct {
+	s string
+	m float64
+}{
+	{"meg", 1e6},
+	{"t", 1e12}, {"g", 1e9}, {"k", 1e3},
+	{"m", 1e-3}, {"u", 1e-6}, {"n", 1e-9}, {"p", 1e-12}, {"f", 1e-15}, {"a", 1e-18},
+}
+
+// parseValue parses a SPICE numeric value with optional magnitude suffix.
+func parseValue(s string) (float64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := 1.0
+	for _, suf := range suffixes {
+		if strings.HasSuffix(s, suf.s) {
+			mult = suf.m
+			s = strings.TrimSuffix(s, suf.s)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad numeric value %q", s)
+	}
+	return v * mult, nil
+}
+
+// Write emits the library and top circuit as a SPICE-subset deck that
+// Parse round-trips. Cells are emitted in sorted order for stable diffs.
+func Write(w io.Writer, lib *Library, top *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "* %s — full-custom toolkit netlist\n", top.Name)
+	if lib != nil {
+		for _, name := range lib.Cells() {
+			if err := writeCircuit(bw, lib.Cell(name), true); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeCircuit(bw, top, false); err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// writeCircuit emits one circuit, optionally wrapped in .subckt/.ends.
+func writeCircuit(w io.Writer, c *Circuit, asSubckt bool) error {
+	if asSubckt {
+		ports := make([]string, len(c.Ports))
+		for i, p := range c.Ports {
+			ports[i] = c.NodeName(p)
+		}
+		fmt.Fprintf(w, ".subckt %s %s\n", c.Name, strings.Join(ports, " "))
+	}
+	for _, d := range c.Devices {
+		fmt.Fprintf(w, "%s %s %s %s %s %s w=%g l=%g",
+			d.Name, c.NodeName(d.Drain), c.NodeName(d.Gate), c.NodeName(d.Source),
+			c.NodeName(d.Bulk), d.Type, d.W, d.L)
+		if d.ExtraL > 0 {
+			fmt.Fprintf(w, " extral=%g", d.ExtraL)
+		}
+		if d.Vt != process.StandardVt {
+			fmt.Fprintf(w, " vt=%s", d.Vt)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, r := range c.Resistors {
+		fmt.Fprintf(w, "%s %s %s %g\n", r.Name, c.NodeName(r.A), c.NodeName(r.B), r.Ohms)
+	}
+	ci := 0
+	for _, n := range c.Nodes {
+		if n.CapFF > 0 {
+			ci++
+			fmt.Fprintf(w, "cw%d %s %s %gf\n", ci, n.Name, VssName, n.CapFF)
+		}
+	}
+	for _, inst := range c.Instances {
+		conns := make([]string, len(inst.Conns))
+		for i, id := range inst.Conns {
+			conns[i] = c.NodeName(id)
+		}
+		fmt.Fprintf(w, "%s %s %s\n", inst.Name, strings.Join(conns, " "), inst.Cell)
+	}
+	// Attribute annotations last, sorted for stability.
+	for _, n := range c.Nodes {
+		if len(n.Attrs) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if v := n.Attrs[k]; v != "" {
+				fmt.Fprintf(w, "*attr %s %s=%s\n", n.Name, k, v)
+			} else {
+				fmt.Fprintf(w, "*attr %s %s\n", n.Name, k)
+			}
+		}
+	}
+	if asSubckt {
+		fmt.Fprintln(w, ".ends")
+	}
+	return nil
+}

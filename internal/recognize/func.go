@@ -1,0 +1,154 @@
+package recognize
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/process"
+)
+
+// maxPathDevices bounds path enumeration: CCCs in real full-custom logic
+// are small (a complex gate is tens of devices); beyond this the
+// recognizer reports FamilyUnknown rather than blow up, which the CBV
+// flow surfaces for designer inspection.
+const maxPathDevices = 64
+
+// maxFuncVars bounds the distinct gate nets a deduced function may
+// involve before the recognizer gives up on a functional abstraction:
+// BDD analysis of wide wired structures (bit columns, buses) is
+// exponential in the worst case, and no hand-designed gate has dozens
+// of inputs. Past the bound the node keeps no Function and the group
+// degrades toward FamilyUnknown.
+const maxFuncVars = 18
+
+// maxPaths bounds the number of simple conduction paths enumerated per
+// (output, rail) pair. Star-shaped structures (shared bitlines, wide
+// wired buses) can have combinatorially many simple paths; past this cap
+// the function is abandoned and the group degrades to FamilyUnknown —
+// conservative, never wrong.
+const maxPaths = 96
+
+// deriveFuncs computes the pull-up and pull-down conduction functions of
+// every output node by enumerating simple source/drain paths to the
+// rails. A device contributes its gate literal: an NMOS conducts when
+// its gate is high (variable), a PMOS when low (negated variable); gates
+// tied to rails contribute constants.
+func (g *Group) deriveFuncs(c *netlist.Circuit, clocks map[netlist.NodeID]bool) {
+	if len(g.Devices) > maxPathDevices {
+		// Too large to enumerate; leave Funcs nil → FamilyUnknown.
+		return
+	}
+	vdd, vss := c.FindNode(netlist.VddName), c.FindNode(netlist.VssName)
+	for _, out := range g.Outputs {
+		up, okUp := g.conduction(c, out, vdd)
+		down, okDown := g.conduction(c, out, vss)
+		if !okUp || !okDown {
+			continue // path blow-up: no clean abstraction for this node
+		}
+		if len(logic.Vars(logic.Or(logic.And(up, logic.False), up, down))) > maxFuncVars {
+			continue // support blow-up: BDD analysis would be unbounded
+		}
+		f := &OutputFunc{
+			Node:     out,
+			PullUp:   up,
+			PullDown: down,
+		}
+		f.Complementary = logic.Equivalent(up, logic.Not(down))
+		f.CanFloat = logic.Satisfiable(logic.And(logic.Not(up), logic.Not(down)))
+		f.CanFight = logic.Satisfiable(logic.And(up, down))
+		if f.Complementary {
+			f.Function = logic.Not(down)
+		} else if !f.CanFight {
+			// Evaluate-phase abstraction for clocked logic: with all
+			// clocks asserted (evaluate), a non-fighting node computes
+			// ¬pulldown when driven; this is the domino convention.
+			eval := down
+			for ck := range clocks {
+				eval = logic.Substitute(eval, c.NodeName(ck), logic.True)
+			}
+			f.Function = logic.Not(eval)
+		}
+		g.Funcs = append(g.Funcs, f)
+	}
+}
+
+// conduction returns the boolean condition under which a conducting
+// source/drain path exists from node `from` to rail `to`, as an OR over
+// simple paths of ANDs of gate literals. ok is false when enumeration
+// exceeds maxPaths.
+func (g *Group) conduction(c *netlist.Circuit, from, to netlist.NodeID) (expr logic.Expr, ok bool) {
+	if to == netlist.InvalidNode {
+		return logic.False, true
+	}
+	visitedNodes := map[netlist.NodeID]bool{from: true}
+	usedDevices := make(map[*netlist.Device]bool)
+	var terms []logic.Expr
+	overflow := false
+	var walk func(at netlist.NodeID, lits []logic.Expr)
+	walk = func(at netlist.NodeID, lits []logic.Expr) {
+		if overflow {
+			return
+		}
+		for _, d := range g.Devices {
+			if usedDevices[d] {
+				continue
+			}
+			var next netlist.NodeID
+			switch at {
+			case d.Source:
+				next = d.Drain
+			case d.Drain:
+				next = d.Source
+			default:
+				continue
+			}
+			lit := gateLiteral(c, d)
+			if lit == logic.False {
+				continue // permanently-off device cannot conduct
+			}
+			if next == to {
+				if len(terms) >= maxPaths {
+					overflow = true
+					return
+				}
+				terms = append(terms, logic.And(append(append([]logic.Expr(nil), lits...), lit)...))
+				continue
+			}
+			// Stop at any other rail or already-visited node.
+			if c.IsSupply(next) || visitedNodes[next] {
+				continue
+			}
+			visitedNodes[next] = true
+			usedDevices[d] = true
+			walk(next, append(lits, lit))
+			usedDevices[d] = false
+			visitedNodes[next] = false
+		}
+	}
+	walk(from, nil)
+	if overflow {
+		return nil, false
+	}
+	return logic.Or(terms...), true
+}
+
+// gateLiteral returns the conduction literal of a device: the condition
+// on its gate net under which the channel conducts.
+func gateLiteral(c *netlist.Circuit, d *netlist.Device) logic.Expr {
+	switch {
+	case c.IsVdd(d.Gate):
+		if d.Type == process.NMOS {
+			return logic.True // always-on NMOS
+		}
+		return logic.False // permanently-off PMOS
+	case c.IsVss(d.Gate):
+		if d.Type == process.NMOS {
+			return logic.False
+		}
+		return logic.True // grounded-gate PMOS: always-on (ratioed load)
+	}
+	v := logic.Var(c.NodeName(d.Gate))
+	if d.Type == process.NMOS {
+		return v
+	}
+	return logic.Not(v)
+}

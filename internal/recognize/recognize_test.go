@@ -1,0 +1,494 @@
+package recognize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// analyze is a test helper that fails on error.
+func analyze(t *testing.T, c *netlist.Circuit) *Result {
+	t.Helper()
+	r, err := Analyze(c)
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", c.Name, err)
+	}
+	return r
+}
+
+// buildInverter returns a circuit containing one inverter a→y.
+func buildInverter() *netlist.Circuit {
+	c := netlist.New("inv")
+	c.DeclarePort("a")
+	c.DeclarePort("y")
+	c.NMOS("mn", "a", "vss", "y", 2, 0.75)
+	c.PMOS("mp", "a", "vdd", "y", 4, 0.75)
+	return c
+}
+
+func TestInverterRecognition(t *testing.T) {
+	r := analyze(t, buildInverter())
+	if len(r.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(r.Groups))
+	}
+	g := r.Groups[0]
+	if g.Family != FamilyStaticCMOS {
+		t.Errorf("family = %v, want static-cmos", g.Family)
+	}
+	if len(g.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(g.Funcs))
+	}
+	f := g.Funcs[0]
+	if !f.Complementary || f.CanFloat || f.CanFight {
+		t.Errorf("inverter flags: comp=%v float=%v fight=%v", f.Complementary, f.CanFloat, f.CanFight)
+	}
+	if !logic.Equivalent(f.Function, logic.Not(logic.Var("a"))) {
+		t.Errorf("function = %v, want !a", f.Function)
+	}
+}
+
+func TestNAND2Recognition(t *testing.T) {
+	c := netlist.New("nand2")
+	for _, p := range []string{"a", "b", "y"} {
+		c.DeclarePort(p)
+	}
+	c.NMOS("mn1", "a", "mid", "y", 4, 0.75)
+	c.NMOS("mn2", "b", "vss", "mid", 4, 0.75)
+	c.PMOS("mp1", "a", "vdd", "y", 4, 0.75)
+	c.PMOS("mp2", "b", "vdd", "y", 4, 0.75)
+	r := analyze(t, c)
+	g := r.Groups[0]
+	if g.Family != FamilyStaticCMOS {
+		t.Errorf("family = %v", g.Family)
+	}
+	f := g.Func(c.FindNode("y"))
+	if f == nil {
+		t.Fatal("no function for y")
+	}
+	want := logic.Not(logic.And(logic.Var("a"), logic.Var("b")))
+	if !logic.Equivalent(f.Function, want) {
+		t.Errorf("function = %v, want !(a&b)", f.Function)
+	}
+	// The internal stack node is internal, not an output.
+	if len(g.Internal) != 1 || c.NodeName(g.Internal[0]) != "mid" {
+		t.Errorf("internal nodes = %v", g.Internal)
+	}
+}
+
+func TestAOIRecognition(t *testing.T) {
+	// AOI21: y = !(a&b | c). Pull-down: a&b parallel c; pull-up dual.
+	c := netlist.New("aoi21")
+	for _, p := range []string{"a", "b", "c", "y"} {
+		c.DeclarePort(p)
+	}
+	c.NMOS("mn1", "a", "x1", "y", 4, 0.75)
+	c.NMOS("mn2", "b", "vss", "x1", 4, 0.75)
+	c.NMOS("mn3", "c", "vss", "y", 4, 0.75)
+	c.PMOS("mp1", "a", "vdd", "x2", 6, 0.75)
+	c.PMOS("mp2", "b", "vdd", "x2", 6, 0.75)
+	c.PMOS("mp3", "c", "x2", "y", 6, 0.75)
+	r := analyze(t, c)
+	g := r.Groups[0]
+	if g.Family != FamilyStaticCMOS {
+		t.Errorf("family = %v", g.Family)
+	}
+	f := g.Func(c.FindNode("y"))
+	want := logic.Not(logic.Or(logic.And(logic.Var("a"), logic.Var("b")), logic.Var("c")))
+	if !logic.Equivalent(f.Function, want) {
+		t.Errorf("function = %v, want !(a&b|c)", f.Function)
+	}
+}
+
+func TestTwoGroupsSplit(t *testing.T) {
+	// Two cascaded inverters are separate CCCs (gate is a boundary).
+	c := netlist.New("buf")
+	c.DeclarePort("a")
+	c.DeclarePort("y")
+	c.NMOS("mn1", "a", "vss", "m", 2, 0.75)
+	c.PMOS("mp1", "a", "vdd", "m", 4, 0.75)
+	c.NMOS("mn2", "m", "vss", "y", 2, 0.75)
+	c.PMOS("mp2", "m", "vdd", "y", 4, 0.75)
+	r := analyze(t, c)
+	if len(r.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(r.Groups))
+	}
+	// m is an output of group 0 (drives gates of group 1).
+	m := c.FindNode("m")
+	g := r.GroupDriving(m)
+	if g == nil {
+		t.Fatal("no driver recorded for m")
+	}
+	if !contains(g.Outputs, m) {
+		t.Error("m should be an output of its group")
+	}
+}
+
+func TestPseudoNMOSRatioed(t *testing.T) {
+	// Pseudo-NMOS NOR: grounded-gate PMOS load, NMOS pull-downs.
+	c := netlist.New("pnor")
+	for _, p := range []string{"a", "b", "y"} {
+		c.DeclarePort(p)
+	}
+	c.PMOS("mload", "vss", "vdd", "y", 2, 1.5) // gate tied to vss: always on
+	c.NMOS("mn1", "a", "vss", "y", 6, 0.75)
+	c.NMOS("mn2", "b", "vss", "y", 6, 0.75)
+	r := analyze(t, c)
+	g := r.Groups[0]
+	if g.Family != FamilyRatioed {
+		t.Errorf("family = %v, want ratioed", g.Family)
+	}
+	f := g.Func(c.FindNode("y"))
+	if !f.CanFight {
+		t.Error("ratioed output should be able to fight")
+	}
+	if f.CanFloat {
+		t.Error("pseudo-NMOS output never floats")
+	}
+}
+
+// buildDomino returns a footed domino AND2 with the given clock name.
+func buildDomino(clk string) *netlist.Circuit {
+	c := netlist.New("domino_and2")
+	for _, p := range []string{"a", "b", "out"} {
+		c.DeclarePort(p)
+	}
+	c.PMOS("mpre", clk, "vdd", "dyn", 4, 0.75) // precharge
+	c.NMOS("ma", "a", "x1", "dyn", 6, 0.75)    // eval tree
+	c.NMOS("mb", "b", "x2", "x1", 6, 0.75)
+	c.NMOS("mfoot", clk, "vss", "x2", 8, 0.75) // clocked foot
+	// Output static inverter (the domino buffer).
+	c.NMOS("mn", "dyn", "vss", "out", 2, 0.75)
+	c.PMOS("mp", "dyn", "vdd", "out", 4, 0.75)
+	return c
+}
+
+func TestDominoRecognitionByName(t *testing.T) {
+	c := buildDomino("phi1")
+	r := analyze(t, c)
+	if !r.IsClock(c.FindNode("phi1")) {
+		t.Fatal("phi1 not identified as clock")
+	}
+	dyn := c.FindNode("dyn")
+	g := r.GroupDriving(dyn)
+	if g == nil {
+		t.Fatal("no driver for dyn")
+	}
+	if g.Family != FamilyDynamic {
+		t.Fatalf("family = %v, want dynamic", g.Family)
+	}
+	if !g.Footed {
+		t.Error("footed domino should be recognized as footed")
+	}
+	if !r.IsDynamic(dyn) {
+		t.Error("dyn should be a dynamic node")
+	}
+	f := g.Func(dyn)
+	if !f.CanFloat {
+		t.Error("dynamic node must be able to float")
+	}
+	// Evaluate-phase function: dyn = !(a&b).
+	want := logic.Not(logic.And(logic.Var("a"), logic.Var("b")))
+	if !logic.Equivalent(f.Function, want) {
+		t.Errorf("evaluate function = %v, want !(a&b)", f.Function)
+	}
+	// The output buffer stays static.
+	out := c.FindNode("out")
+	if r.GroupDriving(out).Family != FamilyStaticCMOS {
+		t.Error("domino output buffer should be static CMOS")
+	}
+}
+
+func TestDominoClockInferredTopologically(t *testing.T) {
+	// Same structure with an unconventional clock name: the X≠Y
+	// precharge/foot signature must still find it.
+	c := buildDomino("en_q")
+	r := analyze(t, c)
+	if !r.IsClock(c.FindNode("en_q")) {
+		t.Fatal("topological clock inference failed")
+	}
+	dyn := c.FindNode("dyn")
+	if r.GroupDriving(dyn).Family != FamilyDynamic {
+		t.Errorf("family = %v, want dynamic", r.GroupDriving(dyn).Family)
+	}
+}
+
+func TestInverterInputNotMistakenForClock(t *testing.T) {
+	// Regression guard for the inference rule: a plain inverter input
+	// gates PMOS-from-vdd and NMOS-from-vss onto the SAME node and must
+	// not be called a clock.
+	r := analyze(t, buildInverter())
+	if r.IsClock(r.Circuit.FindNode("a")) {
+		t.Error("inverter input misclassified as clock")
+	}
+}
+
+func TestClockAttrRecognized(t *testing.T) {
+	c := buildDomino("weird")
+	c.SetAttr(c.FindNode("weird"), "clock", "phi2")
+	r := analyze(t, c)
+	if !r.IsClock(c.FindNode("weird")) {
+		t.Error("clock attribute ignored")
+	}
+}
+
+func TestDCVSLRecognition(t *testing.T) {
+	// DCVSL AND/NAND: cross-coupled PMOS, NMOS trees on true/complement
+	// input rails (a, an, b, bn).
+	c := netlist.New("dcvsl_and")
+	for _, p := range []string{"a", "an", "b", "bn", "q", "qn"} {
+		c.DeclarePort(p)
+	}
+	c.PMOS("mp1", "qn", "vdd", "q", 4, 0.75) // cross-coupled
+	c.PMOS("mp2", "q", "vdd", "qn", 4, 0.75)
+	// q pulled low when !(a&b): an | bn tree.
+	c.NMOS("mn1", "an", "vss", "q", 4, 0.75)
+	c.NMOS("mn2", "bn", "vss", "q", 4, 0.75)
+	// qn pulled low when a&b.
+	c.NMOS("mn3", "a", "x", "qn", 4, 0.75)
+	c.NMOS("mn4", "b", "vss", "x", 4, 0.75)
+	r := analyze(t, c)
+	// The two halves are separate CCCs (cross-coupling is via gates).
+	if len(r.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(r.Groups))
+	}
+	for _, g := range r.Groups {
+		if g.Family != FamilyDCVSL {
+			t.Errorf("group %d family = %v, want dcvsl", g.Index, g.Family)
+		}
+	}
+	// The cross-coupled pair must not be reported as a latch.
+	if len(r.Latches) != 0 {
+		t.Errorf("DCVSL reported as latch: %+v", r.Latches)
+	}
+}
+
+func TestPassTransistorRecognition(t *testing.T) {
+	// Transmission-gate mux: two tgates steering ports a/b to m, then a
+	// static buffer to y.
+	c := netlist.New("tgmux")
+	for _, p := range []string{"a", "b", "s", "sn", "y"} {
+		c.DeclarePort(p)
+	}
+	c.NMOS("mn1", "s", "a", "m", 4, 0.75)
+	c.PMOS("mp1", "sn", "a", "m", 4, 0.75)
+	c.NMOS("mn2", "sn", "b", "m", 4, 0.75)
+	c.PMOS("mp2", "s", "b", "m", 4, 0.75)
+	c.NMOS("mn3", "m", "vss", "y", 2, 0.75)
+	c.PMOS("mp3", "m", "vdd", "y", 4, 0.75)
+	r := analyze(t, c)
+	m := c.FindNode("m")
+	g := r.GroupDriving(m)
+	if g == nil {
+		t.Fatal("no driver group for m")
+	}
+	if g.Family != FamilyPassTransistor {
+		t.Errorf("family = %v, want pass-transistor", g.Family)
+	}
+	if len(g.ChannelInputs) == 0 {
+		t.Error("mux data ports should be channel inputs")
+	}
+}
+
+func TestCrossCoupledLatchDetection(t *testing.T) {
+	// Two cross-coupled inverters: classic keeper. Two groups forming
+	// an SCC → one static latch with two state nodes.
+	c := netlist.New("keeper")
+	c.DeclarePort("q")
+	c.DeclarePort("qn")
+	c.NMOS("mn1", "q", "vss", "qn", 2, 0.75)
+	c.PMOS("mp1", "q", "vdd", "qn", 4, 0.75)
+	c.NMOS("mn2", "qn", "vss", "q", 2, 0.75)
+	c.PMOS("mp2", "qn", "vdd", "q", 4, 0.75)
+	r := analyze(t, c)
+	if len(r.Latches) != 1 {
+		t.Fatalf("latches = %d, want 1", len(r.Latches))
+	}
+	l := r.Latches[0]
+	if !l.Static {
+		t.Error("keeper should be static")
+	}
+	if len(l.StateNodes) != 2 {
+		t.Errorf("state nodes = %d, want 2", len(l.StateNodes))
+	}
+	if !r.IsState(c.FindNode("q")) || !r.IsState(c.FindNode("qn")) {
+		t.Error("q/qn should be state nodes")
+	}
+}
+
+func TestLatchWithPassGate(t *testing.T) {
+	// Level-sensitive latch: tgate into a keeper loop with a weak
+	// feedback inverter. d -(phi)-> m; m -> inv -> q; q -> weak inv -> m.
+	c := netlist.New("latch")
+	for _, p := range []string{"d", "phi", "phin", "q"} {
+		c.DeclarePort(p)
+	}
+	c.NMOS("mpass_n", "phi", "d", "m", 4, 0.75)
+	c.PMOS("mpass_p", "phin", "d", "m", 4, 0.75)
+	c.NMOS("mn1", "m", "vss", "q", 2, 0.75)
+	c.PMOS("mp1", "m", "vdd", "q", 4, 0.75)
+	c.NMOS("mn2", "q", "vss", "m", 1, 0.75) // weak feedback
+	c.PMOS("mp2", "q", "vdd", "m", 2, 0.75)
+	r := analyze(t, c)
+	if len(r.Latches) != 1 {
+		t.Fatalf("latches = %d, want 1 (%s)", len(r.Latches), r.Summary())
+	}
+	if !r.IsClock(c.FindNode("phi")) {
+		t.Error("phi should be a clock by name")
+	}
+}
+
+func TestNoFalseLatchInCombinational(t *testing.T) {
+	// An inverter chain has no feedback: zero latches.
+	c := netlist.New("chain")
+	c.DeclarePort("a")
+	prev := "a"
+	for i := 0; i < 5; i++ {
+		next := "n" + string(rune('0'+i))
+		c.NMOS("mn"+next, prev, "vss", next, 2, 0.75)
+		c.PMOS("mp"+next, prev, "vdd", next, 4, 0.75)
+		prev = next
+	}
+	r := analyze(t, c)
+	if len(r.Latches) != 0 {
+		t.Errorf("latches = %d, want 0", len(r.Latches))
+	}
+	if len(r.StateNodes) != 0 {
+		t.Errorf("state nodes = %v", r.StateNodes)
+	}
+}
+
+func TestAnalyzeRejectsHierarchy(t *testing.T) {
+	c := netlist.New("h")
+	c.AddInstance("x", "foo", "n")
+	if _, err := Analyze(c); err == nil || !strings.Contains(err.Error(), "flatten") {
+		t.Errorf("want flatten error, got %v", err)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	c := netlist.New("bad")
+	c.NMOS("m", "a", "vss", "y", -1, 0.75)
+	if _, err := Analyze(c); err == nil {
+		t.Error("want validation error")
+	}
+}
+
+func TestOversizedGroupIsUnknown(t *testing.T) {
+	// A giant parallel network beyond maxPathDevices falls back to
+	// FamilyUnknown rather than exploding.
+	c := netlist.New("huge")
+	c.DeclarePort("y")
+	for i := 0; i < maxPathDevices+1; i++ {
+		c.NMOS("m"+itoa(i), "g"+itoa(i), "vss", "y", 2, 0.75)
+	}
+	r := analyze(t, c)
+	if r.Groups[0].Family != FamilyUnknown {
+		t.Errorf("family = %v, want unknown", r.Groups[0].Family)
+	}
+}
+
+func TestSummaryMentionsFamilies(t *testing.T) {
+	r := analyze(t, buildDomino("phi1"))
+	s := r.Summary()
+	for _, want := range []string{"dynamic=1", "static-cmos=1", "1 clocks", "1 dynamic nodes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	fams := map[Family]string{
+		FamilyStaticCMOS:     "static-cmos",
+		FamilyRatioed:        "ratioed",
+		FamilyDynamic:        "dynamic",
+		FamilyDCVSL:          "dcvsl",
+		FamilyPassTransistor: "pass-transistor",
+		FamilyUnknown:        "unknown",
+	}
+	for f, want := range fams {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), want)
+		}
+	}
+}
+
+func TestTristateCanFloat(t *testing.T) {
+	// Tri-state inverter: en gates both networks; output floats when
+	// disabled.
+	c := netlist.New("tri")
+	for _, p := range []string{"a", "en", "enb", "y"} {
+		c.DeclarePort(p)
+	}
+	c.NMOS("mn1", "a", "x1", "y", 2, 0.75)
+	c.NMOS("mn2", "en", "vss", "x1", 2, 0.75)
+	c.PMOS("mp1", "a", "x2", "y", 4, 0.75)
+	c.PMOS("mp2", "enb", "vdd", "x2", 4, 0.75)
+	r := analyze(t, c)
+	f := r.Groups[0].Func(c.FindNode("y"))
+	if !f.CanFloat {
+		t.Error("tri-state output must be able to float")
+	}
+	if f.Complementary {
+		t.Error("tri-state output is not complementary")
+	}
+}
+
+// contains reports membership of id in ids.
+func contains(ids []netlist.NodeID, id netlist.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// itoa is a tiny strconv.Itoa to keep the import list short.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestNANDInputsNotClocks(t *testing.T) {
+	// Regression guard for functional clock inference: a NAND's bottom
+	// input gates both a PMOS-from-vdd (onto the output) and an
+	// NMOS-from-vss (onto the stack node) — the structural signature of
+	// a precharge/foot pair — but the gate is complementary, so it must
+	// never be inferred as a clock.
+	c := netlist.New("nand2")
+	for _, p := range []string{"a", "b", "y"} {
+		c.DeclarePort(p)
+	}
+	c.NMOS("mn1", "a", "mid", "y", 4, 0.75)
+	c.NMOS("mn2", "b", "vss", "mid", 4, 0.75)
+	c.PMOS("mp1", "a", "vdd", "y", 4, 0.75)
+	c.PMOS("mp2", "b", "vdd", "y", 4, 0.75)
+	r := analyze(t, c)
+	if len(r.Clocks) != 0 {
+		t.Errorf("NAND inputs misinferred as clocks: %v", r.Clocks)
+	}
+}
+
+func TestKeeperDominoClockStillInferred(t *testing.T) {
+	// With a keeper, forcing the clock on leaves only the keeper's
+	// feedback in the pull-up; inference must still find the clock.
+	c := buildDomino("enq")
+	c.PMOS("mkeep", "out", "vdd", "dyn", 1, 1.125)
+	r := analyze(t, c)
+	if !r.IsClock(c.FindNode("enq")) {
+		t.Error("keeper defeated domino clock inference")
+	}
+	if r.GroupDriving(c.FindNode("dyn")).Family != FamilyDynamic {
+		t.Error("keeper-equipped domino not classified dynamic")
+	}
+}

@@ -1,0 +1,159 @@
+package recognize
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// findLatches detects state elements as feedback cycles in the group
+// connectivity graph (an edge g→h exists when an output of g is read as
+// a gate by h). §4.3: constraint generation hinges on the "automatic
+// recognition of state-elements … for any full custom circuit" because
+// designers create state elements on the fly. A strongly connected
+// component with a cycle is a storage loop; its character (static keeper
+// vs. clocked latch) comes from the member groups' families and clocks.
+func (r *Result) findLatches() {
+	n := len(r.Groups)
+	if n == 0 {
+		return
+	}
+	// adj[g] = groups whose gates read an output of g.
+	adj := make([][]int, n)
+	gateReaders := make(map[netlist.NodeID][]int)
+	for gi, g := range r.Groups {
+		for _, in := range g.Inputs {
+			gateReaders[in] = append(gateReaders[in], gi)
+		}
+		// Self-feedback: a group output read as a gate by the same
+		// group (e.g. cross-coupled pair in one CCC).
+		for _, d := range g.Devices {
+			for _, out := range g.Outputs {
+				if d.Gate == out {
+					adj[gi] = append(adj[gi], gi)
+				}
+			}
+		}
+	}
+	for gi, g := range r.Groups {
+		for _, out := range g.Outputs {
+			for _, reader := range gateReaders[out] {
+				adj[gi] = append(adj[gi], reader)
+			}
+		}
+	}
+
+	// Tarjan SCC.
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	counter := 0
+	var sccs [][]int
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+
+	hasSelfEdge := func(v int) bool {
+		for _, w := range adj[v] {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, scc := range sccs {
+		if len(scc) == 1 && !hasSelfEdge(scc[0]) {
+			continue
+		}
+		// A DCVSL pair is a gate-feedback loop by construction (the
+		// cross-coupled pull-ups), but it is combinational dual-rail
+		// logic, not a state element.
+		allDCVSL := true
+		for _, gi := range scc {
+			if r.Groups[gi].Family != FamilyDCVSL {
+				allDCVSL = false
+				break
+			}
+		}
+		if allDCVSL {
+			continue
+		}
+		sort.Ints(scc)
+		latch := Latch{Groups: scc, Static: true}
+		stateSet := make(map[netlist.NodeID]bool)
+		clockSet := make(map[netlist.NodeID]bool)
+		inLoop := make(map[int]bool, len(scc))
+		for _, gi := range scc {
+			inLoop[gi] = true
+		}
+		for _, gi := range scc {
+			g := r.Groups[gi]
+			if g.Family != FamilyStaticCMOS {
+				latch.Static = false
+			}
+			for _, ck := range g.ClockNets {
+				clockSet[ck] = true
+			}
+			// State nodes: outputs of loop members that feed back into
+			// the loop (read as a gate by a loop member).
+			for _, out := range g.Outputs {
+				for _, reader := range gateReaders[out] {
+					if inLoop[reader] {
+						stateSet[out] = true
+					}
+				}
+				// Self-feedback within the group.
+				for _, d := range g.Devices {
+					if d.Gate == out {
+						stateSet[out] = true
+					}
+				}
+			}
+		}
+		latch.StateNodes = sortedNodeSet(stateSet)
+		latch.Clocks = sortedNodeSet(clockSet)
+		r.Latches = append(r.Latches, latch)
+		r.StateNodes = append(r.StateNodes, latch.StateNodes...)
+	}
+	sort.Slice(r.Latches, func(i, j int) bool {
+		return r.Latches[i].Groups[0] < r.Latches[j].Groups[0]
+	})
+}

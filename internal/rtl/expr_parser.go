@@ -1,0 +1,304 @@
+package rtl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expression grammar (loosest to tightest):
+//
+//	cond   := or ('?' cond ':' cond)?
+//	or     := xor ('|' xor)*
+//	xor    := and ('^' and)*
+//	and    := cmp ('&' cmp)*
+//	cmp    := shift (('=='|'!='|'<='|'>='|'<'|'>') shift)?
+//	shift  := add (('<<'|'>>') add)*
+//	add    := unary (('+'|'-') unary)*
+//	unary  := ('~'|'!'|'-')? primary
+//	primary:= num | '(' cond ')' | '{' cond (',' cond)* '}'
+//	       | ident ('[' cond (':' num)? ']')? | ident '.' op '(' cond ')'
+//	       | ('redor'|'redand'|'redxor') '(' cond ')'
+
+type exprParser struct {
+	toks []string
+	pos  int
+	line int
+}
+
+// parseExpr parses a complete FCL expression string.
+func parseExpr(s string, line int) (Expr, error) {
+	toks, err := tokenize(s, line)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{toks: toks, line: line}
+	e, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, &SyntaxError{line, fmt.Sprintf("trailing tokens after expression: %q", p.toks[p.pos:])}
+	}
+	return e, nil
+}
+
+// tokenize splits an expression into tokens.
+func tokenize(s string, line int) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case isIdentStart(c):
+			j := i
+			for j < len(s) && isIdentPart(s[j]) {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && (isIdentPart(s[j])) {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		case strings.ContainsRune("?:|^&<>=!~+-(){}[],.", rune(c)):
+			// Two-character operators first.
+			if i+1 < len(s) {
+				two := s[i : i+2]
+				switch two {
+				case "==", "!=", "<=", ">=", "<<", ">>":
+					out = append(out, two)
+					i += 2
+					continue
+				}
+			}
+			out = append(out, string(c))
+			i++
+		default:
+			return nil, &SyntaxError{line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	return out, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// peek returns the next token or "".
+func (p *exprParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+// accept consumes tok if it is next.
+func (p *exprParser) accept(tok string) bool {
+	if p.peek() == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes tok or errors.
+func (p *exprParser) expect(tok string) error {
+	if !p.accept(tok) {
+		return &SyntaxError{p.line, fmt.Sprintf("expected %q, found %q", tok, p.peek())}
+	}
+	return nil
+}
+
+func (p *exprParser) cond() (Expr, error) {
+	c, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		t, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		f, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{c, t, f}, nil
+	}
+	return c, nil
+}
+
+// binLevels orders binary operators loosest-first.
+var binLevels = [][]string{
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!=", "<=", ">=", "<", ">"},
+	{"<<", ">>"},
+	{"+", "-"},
+}
+
+func (p *exprParser) binary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	left, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binLevels[level] {
+			if p.accept(op) {
+				right, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &Binary{Op: op, L: left, R: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+		// Comparison level is non-associative: one application only.
+		if level == 3 {
+			return left, nil
+		}
+	}
+}
+
+func (p *exprParser) unary() (Expr, error) {
+	for _, op := range []string{"~", "!", "-"} {
+		if p.accept(op) {
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: op, X: x}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *exprParser) primary() (Expr, error) {
+	tok := p.peek()
+	switch {
+	case tok == "":
+		return nil, &SyntaxError{p.line, "unexpected end of expression"}
+	case tok == "(":
+		p.pos++
+		e, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case tok == "{":
+		p.pos++
+		var parts []Expr
+		for {
+			e, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		return &Concat{parts}, p.expect("}")
+	case tok[0] >= '0' && tok[0] <= '9':
+		p.pos++
+		return parseNumLiteral(tok, p.line)
+	case isIdentStart(tok[0]):
+		p.pos++
+		name := tok
+		// Reductions.
+		if name == "redor" || name == "redand" || name == "redxor" {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			x, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: name, X: x}, p.expect(")")
+		}
+		// CAM query: name.hit(key) / name.index(key).
+		if p.accept(".") {
+			op := p.peek()
+			if op != "hit" && op != "index" {
+				return nil, &SyntaxError{p.line, fmt.Sprintf("unknown cam operation %q", op)}
+			}
+			p.pos++
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			key, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			return &CamOp{Cam: name, Op: op, Key: key}, p.expect(")")
+		}
+		// Index or slice.
+		if p.accept("[") {
+			first, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(":") {
+				lo := p.peek()
+				p.pos++
+				hiNum, okHi := first.(*Num)
+				loVal, errLo := strconv.Atoi(lo)
+				if !okHi || errLo != nil {
+					return nil, &SyntaxError{p.line, "slice bounds must be constant"}
+				}
+				if err := p.expect("]"); err != nil {
+					return nil, err
+				}
+				if int(hiNum.Value) < loVal {
+					return nil, &SyntaxError{p.line, "slice hi < lo"}
+				}
+				return &Slice{Base: name, Hi: int(hiNum.Value), Lo: loVal}, nil
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &Index{Base: name, Idx: first}, nil
+		}
+		return &Ident{name}, nil
+	}
+	return nil, &SyntaxError{p.line, fmt.Sprintf("unexpected token %q", tok)}
+}
+
+// parseNumLiteral parses decimal, 0x…, and 0b… literals.
+func parseNumLiteral(tok string, line int) (*Num, error) {
+	base := 10
+	digits := tok
+	switch {
+	case strings.HasPrefix(tok, "0x"), strings.HasPrefix(tok, "0X"):
+		base, digits = 16, tok[2:]
+	case strings.HasPrefix(tok, "0b"), strings.HasPrefix(tok, "0B"):
+		base, digits = 2, tok[2:]
+	}
+	v, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		return nil, &SyntaxError{line, fmt.Sprintf("bad number %q", tok)}
+	}
+	return &Num{Value: v}, nil
+}

@@ -1,0 +1,81 @@
+package rtl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stimulus drives pseudo-random input sequences into a simulation —
+// §4.1: "Simulation requires stimulus patterns, which are either
+// manually generated or pseudo-random sequences." The generator is
+// seeded and therefore reproducible: a failing cycle number is enough to
+// replay a run.
+type Stimulus struct {
+	sim    *Sim
+	rng    *rand.Rand
+	inputs []stimInput
+	// Bias is the probability of a 1 in each generated bit (default
+	// 0.5); corner-hunting runs often want 0.1/0.9 biases.
+	Bias float64
+}
+
+type stimInput struct {
+	name string
+	mask uint64
+}
+
+// NewStimulus prepares a generator over the named inputs.
+func NewStimulus(sim *Sim, seed int64, inputs ...string) (*Stimulus, error) {
+	st := &Stimulus{sim: sim, rng: rand.New(rand.NewSource(seed)), Bias: 0.5}
+	for _, in := range inputs {
+		i := sim.Design().SignalIndex(in)
+		if i < 0 {
+			return nil, fmt.Errorf("fcl: stimulus input %q not found", in)
+		}
+		st.inputs = append(st.inputs, stimInput{in, widthMask(sim.Design().Signals[i].Width)})
+	}
+	return st, nil
+}
+
+// Step drives one random vector and advances one cycle, returning the
+// applied values.
+func (s *Stimulus) Step() map[string]uint64 {
+	applied := s.Vector()
+	s.sim.Cycle()
+	return applied
+}
+
+// Run executes n random cycles, calling check (if non-nil) after each;
+// the first non-nil error stops the run and is returned wrapped with the
+// cycle number and the stimulus vector that exposed it.
+func (s *Stimulus) Run(n int, check func(sim *Sim) error) error {
+	for i := 0; i < n; i++ {
+		applied := s.Step()
+		if check == nil {
+			continue
+		}
+		if err := check(s.sim); err != nil {
+			return fmt.Errorf("fcl: stimulus cycle %d (inputs %v): %w", i, applied, err)
+		}
+	}
+	return nil
+}
+
+// Vector generates one random input assignment and applies it WITHOUT
+// advancing the clock — for callers (like shadow-mode co-simulation)
+// that own the cycle loop.
+func (s *Stimulus) Vector() map[string]uint64 {
+	applied := make(map[string]uint64, len(s.inputs))
+	for _, in := range s.inputs {
+		var v uint64
+		for b := uint64(1); b != 0 && b <= in.mask; b <<= 1 {
+			if s.rng.Float64() < s.Bias {
+				v |= b
+			}
+		}
+		v &= in.mask
+		applied[in.name] = v
+		_ = s.sim.Set(in.name, v)
+	}
+	return applied
+}

@@ -1,0 +1,306 @@
+package shadow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/rtl"
+	"repro/internal/switchsim"
+)
+
+// rtlXor is a 1-bit XOR in FCL with a phi1 output register.
+const rtlXor = `
+module top(a, b -> y, q)
+reg r @phi1
+assign y = a ^ b
+on phi1: r <= a ^ b
+assign q = r
+endmodule
+`
+
+// cktXor builds a static CMOS XOR (complementary AOI form) y = a⊕b,
+// using internally generated complements.
+func cktXor() *netlist.Circuit {
+	c := netlist.New("xor")
+	for _, p := range []string{"a", "b", "y"} {
+		c.DeclarePort(p)
+	}
+	inv := func(name, in, out string) {
+		c.NMOS(name+"_n", in, "vss", out, 2, 0.75)
+		c.PMOS(name+"_p", in, "vdd", out, 4, 0.75)
+	}
+	inv("ia", "a", "an")
+	inv("ib", "b", "bn")
+	// Complementary XOR: y pulled low when (a&b)|(an&bn) — the XNOR
+	// condition — and pulled high through the dual PMOS network
+	// ((a‖b) in series with (an‖bn), conducting on exactly-one-high).
+	c.NMOS("n1", "a", "x1", "y", 4, 0.75)
+	c.NMOS("n2", "b", "vss", "x1", 4, 0.75)
+	c.NMOS("n3", "an", "x2", "y", 4, 0.75)
+	c.NMOS("n4", "bn", "vss", "x2", 4, 0.75)
+	c.PMOS("p1", "a", "vdd", "x3", 6, 0.75)
+	c.PMOS("p2", "b", "vdd", "x3", 6, 0.75)
+	c.PMOS("p3", "an", "x3", "y", 6, 0.75)
+	c.PMOS("p4", "bn", "x3", "y", 6, 0.75)
+	return c
+}
+
+// newShadow builds the standard XOR shadow setup.
+func newShadow(t *testing.T, ckt *netlist.Circuit) *Shadow {
+	t.Helper()
+	prog, err := rtl.ParseString(rtlXor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rtl.NewSim(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := switchsim.New(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := New(rs, cs, Binding{
+		Inputs:  map[string]string{"a": "a", "b": "b"},
+		Outputs: map[string]string{"y": "y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func TestShadowCleanOnCorrectCircuit(t *testing.T) {
+	sh := newShadow(t, cktXor())
+	// Walk all four input combinations over several cycles.
+	for cyc := 0; cyc < 8; cyc++ {
+		if err := sh.RTL.Set("a", uint64(cyc)&1); err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.RTL.Set("b", uint64(cyc>>1)&1); err != nil {
+			t.Fatal(err)
+		}
+		sh.Cycle()
+	}
+	if len(sh.Mismatches) != 0 {
+		t.Fatalf("clean circuit mismatched:\n%s", sh.Report())
+	}
+	if sh.Compared == 0 {
+		t.Fatal("no comparisons performed")
+	}
+	if !strings.Contains(sh.Report(), "no mismatches") {
+		t.Error("report should say no mismatches")
+	}
+}
+
+func TestShadowCatchesBug(t *testing.T) {
+	// Introduce the classic full-custom bug: swap one series device's
+	// gate so the pulldown computes the wrong function.
+	bad := cktXor()
+	for _, d := range bad.Devices {
+		if d.Name == "n2" {
+			d.Gate = bad.Node("bn") // was b
+		}
+	}
+	sh := newShadow(t, bad)
+	for cyc := 0; cyc < 8; cyc++ {
+		_ = sh.RTL.Set("a", uint64(cyc)&1)
+		_ = sh.RTL.Set("b", uint64(cyc>>1)&1)
+		sh.Cycle()
+	}
+	if len(sh.Mismatches) == 0 {
+		t.Fatal("shadow failed to catch a wired-wrong pulldown")
+	}
+	m := sh.Mismatches[0]
+	if m.Node != "y" || m.Signal != "y" {
+		t.Errorf("mismatch identifies wrong objects: %+v", m)
+	}
+	if !strings.Contains(sh.Report(), "mismatches:") {
+		t.Error("report should list mismatches")
+	}
+}
+
+func TestShadowDoesNotPatchRTL(t *testing.T) {
+	// "shadowing (not replacing)": RTL results must be unaffected by a
+	// broken circuit.
+	good := newShadow(t, cktXor())
+	bad := newShadow(t, func() *netlist.Circuit {
+		c := cktXor()
+		for _, d := range c.Devices {
+			if d.Name == "n1" {
+				d.Gate = c.Node("an")
+			}
+		}
+		return c
+	}())
+	for cyc := 0; cyc < 4; cyc++ {
+		for _, sh := range []*Shadow{good, bad} {
+			_ = sh.RTL.Set("a", 1)
+			_ = sh.RTL.Set("b", uint64(cyc)&1)
+			sh.Cycle()
+		}
+		if good.RTL.Get("q") != bad.RTL.Get("q") {
+			t.Fatal("a shadow mismatch leaked into RTL state")
+		}
+	}
+}
+
+func TestShadowClockedLatch(t *testing.T) {
+	// Shadow a transmission-gate latch against the RTL register.
+	const src = `
+module top(d -> q)
+reg r @phi1
+on phi1: r <= d
+assign q = r
+endmodule
+`
+	prog, err := rtl.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rtl.NewSim(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := netlist.New("latch")
+	c.DeclarePort("d")
+	c.NMOS("pass", "phi1", "d", "m", 8, 0.75)
+	c.NMOS("fwd_n", "m", "vss", "qn", 2, 0.75)
+	c.PMOS("fwd_p", "m", "vdd", "qn", 4, 0.75)
+	c.NMOS("out_n", "qn", "vss", "q", 2, 0.75)
+	c.PMOS("out_p", "qn", "vdd", "q", 4, 0.75)
+	c.NMOS("fb_n", "q", "vss", "m", 1, 1.5) // weak keeper
+	c.PMOS("fb_p", "q", "vdd", "m", 1, 1.5)
+	cs, err := switchsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := New(rs, cs, Binding{
+		Inputs:  map[string]string{"d": "d"},
+		Outputs: map[string]string{"q": "q"},
+		Clocks:  map[string]string{"phi1": "phi1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []uint64{1, 0, 1, 1, 0, 0, 1}
+	for _, v := range seq {
+		_ = sh.RTL.Set("d", v)
+		sh.Cycle()
+		if got := sh.RTL.Get("q"); got != v {
+			t.Fatalf("RTL latch broken: q=%d want %d", got, v)
+		}
+	}
+	if len(sh.Mismatches) != 0 {
+		t.Errorf("latch shadow mismatched:\n%s", sh.Report())
+	}
+}
+
+func TestBindingValidation(t *testing.T) {
+	prog, _ := rtl.ParseString(rtlXor)
+	rs, _ := rtl.NewSim(prog)
+	cs, _ := switchsim.New(cktXor())
+	cases := []Binding{
+		{Inputs: map[string]string{"nope": "a"}},
+		{Inputs: map[string]string{"a": "nosig"}},
+		{Outputs: map[string]string{"zz": "y"}},
+		{Outputs: map[string]string{"y": "nosig"}},
+		{Clocks: map[string]string{"zz": "phi1"}},
+		{Clocks: map[string]string{"a": "phi9"}},
+		{Inputs: map[string]string{"a": "a[bad"}},
+		{Inputs: map[string]string{"a": "a[99]"}},
+	}
+	for i, b := range cases {
+		if _, err := New(rs, cs, b); err == nil {
+			t.Errorf("binding %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestBitSelectBinding(t *testing.T) {
+	const src = `
+module top(v[4] -> y)
+assign y = v[2]
+endmodule
+`
+	prog, _ := rtl.ParseString(src)
+	rs, err := rtl.NewSim(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := netlist.New("buf")
+	c.DeclarePort("in")
+	c.DeclarePort("out")
+	c.NMOS("n1", "in", "vss", "mid", 2, 0.75)
+	c.PMOS("p1", "in", "vdd", "mid", 4, 0.75)
+	c.NMOS("n2", "mid", "vss", "out", 2, 0.75)
+	c.PMOS("p2", "mid", "vdd", "out", 4, 0.75)
+	cs, _ := switchsim.New(c)
+	sh, err := New(rs, cs, Binding{
+		Inputs:  map[string]string{"in": "v[2]"},
+		Outputs: map[string]string{"out": "y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sh.RTL.Set("v", 0b0100)
+	sh.Cycle()
+	_ = sh.RTL.Set("v", 0b1011)
+	sh.Cycle()
+	if len(sh.Mismatches) != 0 {
+		t.Errorf("bit-select shadow mismatched:\n%s", sh.Report())
+	}
+}
+
+func TestMismatchCap(t *testing.T) {
+	bad := cktXor()
+	for _, d := range bad.Devices {
+		if d.Name == "n2" {
+			d.Gate = bad.Node("bn")
+		}
+	}
+	sh := newShadow(t, bad)
+	sh.MaxMismatches = 3
+	_ = sh.RTL.Set("a", 1)
+	_ = sh.RTL.Set("b", 0)
+	for i := 0; i < 50; i++ {
+		sh.Cycle()
+	}
+	if len(sh.Mismatches) > 3 {
+		t.Errorf("mismatch log exceeded cap: %d", len(sh.Mismatches))
+	}
+}
+
+func TestShadowRandomRun(t *testing.T) {
+	sh := newShadow(t, cktXor())
+	ok, err := sh.RandomRun(40, 1997, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("random run mismatched:\n%s", sh.Report())
+	}
+	if sh.Compared < 40 {
+		t.Errorf("compared = %d", sh.Compared)
+	}
+	// Unknown input is rejected.
+	if _, err := sh.RandomRun(1, 0, "zz"); err == nil {
+		t.Error("unknown stimulus input accepted")
+	}
+	// And a broken circuit is caught by random stimulus too.
+	bad := cktXor()
+	for _, d := range bad.Devices {
+		if d.Name == "n2" {
+			d.Gate = bad.Node("bn")
+		}
+	}
+	shBad := newShadow(t, bad)
+	ok, err = shBad.RandomRun(40, 1997, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("random stimulus missed the wired-wrong pulldown")
+	}
+}

@@ -1,0 +1,501 @@
+// Package switchsim is a switch-level simulator for transistor netlists.
+//
+// The paper's logic verification (§4.1) runs circuit-level simulation of
+// full-custom logic whose behaviour no cell library defines; a
+// switch-level model — transistors as gate-controlled switches with
+// three-valued node states and charge retention on floating nodes — is
+// the classic abstraction for that job (IRSIM lineage). It captures
+// exactly the behaviours the paper's circuit styles rely on: precharged
+// dynamic nodes that hold state while floating, transmission gates,
+// ratioed fights, and the charge-sharing hazards of Figure 3.
+//
+// The simulator is a unit-delay relaxation engine: after each input
+// change, node values are recomputed from rail-reachability through
+// conducting channels until a fixed point; oscillation resolves to X.
+package switchsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/process"
+)
+
+// Value is a three-valued logic level.
+type Value int8
+
+// The node values. X is both "unknown" and "invalid" (fight/oscillation).
+const (
+	Lo Value = iota
+	Hi
+	X
+)
+
+// String returns "0", "1" or "X".
+func (v Value) String() string {
+	switch v {
+	case Lo:
+		return "0"
+	case Hi:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// Bool converts a bool to a Value.
+func Bool(b bool) Value {
+	if b {
+		return Hi
+	}
+	return Lo
+}
+
+// Sim is a switch-level simulation instance over one flat circuit.
+type Sim struct {
+	c *netlist.Circuit
+	// value is the current level of every node.
+	value []Value
+	// driven marks externally forced nodes (inputs, rails).
+	driven []bool
+	// vdd/vss node ids (may be InvalidNode if absent).
+	vdd, vss netlist.NodeID
+	// devsByNode indexes devices by channel terminal for traversal.
+	devsByNode [][]*netlist.Device
+	// steps counts relaxation iterations for reporting.
+	steps int
+}
+
+// MaxIterations bounds relaxation; exceeding it marks changed nodes X.
+const MaxIterations = 500
+
+// New builds a simulator for a flat circuit. All nodes start at X except
+// the rails.
+func New(c *netlist.Circuit) (*Sim, error) {
+	if len(c.Instances) > 0 {
+		return nil, fmt.Errorf("switchsim: circuit %s has unflattened instances", c.Name)
+	}
+	s := &Sim{
+		c:          c,
+		value:      make([]Value, len(c.Nodes)),
+		driven:     make([]bool, len(c.Nodes)),
+		vdd:        c.FindNode(netlist.VddName),
+		vss:        c.FindNode(netlist.VssName),
+		devsByNode: make([][]*netlist.Device, len(c.Nodes)),
+	}
+	for i := range s.value {
+		s.value[i] = X
+	}
+	if s.vdd != netlist.InvalidNode {
+		s.value[s.vdd] = Hi
+		s.driven[s.vdd] = true
+	}
+	if s.vss != netlist.InvalidNode {
+		s.value[s.vss] = Lo
+		s.driven[s.vss] = true
+	}
+	for _, d := range c.Devices {
+		s.devsByNode[d.Source] = append(s.devsByNode[d.Source], d)
+		if d.Drain != d.Source {
+			s.devsByNode[d.Drain] = append(s.devsByNode[d.Drain], d)
+		}
+	}
+	return s, nil
+}
+
+// Circuit returns the simulated circuit.
+func (s *Sim) Circuit() *netlist.Circuit { return s.c }
+
+// Set forces the named node to a value (an external drive) and relaxes
+// the circuit. It returns the number of relaxation iterations.
+func (s *Sim) Set(name string, v Value) int {
+	id := s.c.FindNode(name)
+	if id == netlist.InvalidNode {
+		return 0
+	}
+	s.value[id] = v
+	s.driven[id] = true
+	return s.Settle()
+}
+
+// SetQuiet forces a node without relaxing (for batching input changes).
+func (s *Sim) SetQuiet(name string, v Value) {
+	id := s.c.FindNode(name)
+	if id == netlist.InvalidNode {
+		return
+	}
+	s.value[id] = v
+	s.driven[id] = true
+}
+
+// Release removes the external drive from a node (it becomes a charged,
+// possibly floating node) and relaxes.
+func (s *Sim) Release(name string) int {
+	id := s.c.FindNode(name)
+	if id == netlist.InvalidNode || s.c.IsSupply(id) {
+		return 0
+	}
+	s.driven[id] = false
+	return s.Settle()
+}
+
+// Get returns the current value of the named node (X for unknown names).
+func (s *Sim) Get(name string) Value {
+	id := s.c.FindNode(name)
+	if id == netlist.InvalidNode {
+		return X
+	}
+	return s.value[id]
+}
+
+// GetID returns the value of a node by ID.
+func (s *Sim) GetID(id netlist.NodeID) Value { return s.value[id] }
+
+// conductance classifies a device's channel at current gate value.
+type conductance int
+
+const (
+	off conductance = iota
+	on
+	maybe
+)
+
+// conducts returns the channel state of d given its gate's value.
+func (s *Sim) conducts(d *netlist.Device) conductance {
+	g := s.value[d.Gate]
+	if g == X {
+		return maybe
+	}
+	if (d.Type == process.NMOS && g == Hi) || (d.Type == process.PMOS && g == Lo) {
+		return on
+	}
+	return off
+}
+
+// Settle relaxes node values to a fixed point and returns the iteration
+// count. If MaxIterations is exceeded, the still-changing nodes are set
+// to X (oscillation — e.g. an enabled ring) and relaxation re-runs once.
+func (s *Sim) Settle() int {
+	iters := 0
+	for {
+		changedNodes := s.relaxOnce()
+		iters++
+		if len(changedNodes) == 0 {
+			s.steps += iters
+			return iters
+		}
+		if iters >= MaxIterations {
+			for _, id := range changedNodes {
+				if !s.driven[id] {
+					s.value[id] = X
+				}
+			}
+			s.steps += iters
+			return iters
+		}
+	}
+}
+
+// relaxOnce recomputes every non-driven node once from the current state
+// and returns the IDs whose value changed.
+func (s *Sim) relaxOnce() []netlist.NodeID {
+	// Drive-source reachability under definite conduction and under
+	// maybe-conduction (definite ∪ maybe). Externally driven nodes are
+	// drive sources just like the rails: a high input propagates
+	// through pass structures exactly as vdd does.
+	var seedHi, seedLo, seedX []netlist.NodeID
+	if s.vdd != netlist.InvalidNode {
+		seedHi = append(seedHi, s.vdd)
+	}
+	if s.vss != netlist.InvalidNode {
+		seedLo = append(seedLo, s.vss)
+	}
+	for id, dr := range s.driven {
+		nid := netlist.NodeID(id)
+		if !dr || s.c.IsSupply(nid) {
+			continue
+		}
+		switch s.value[id] {
+		case Hi:
+			seedHi = append(seedHi, nid)
+		case Lo:
+			seedLo = append(seedLo, nid)
+		default:
+			seedX = append(seedX, nid)
+		}
+	}
+	defVdd := s.reach(seedHi, false)
+	defVss := s.reach(seedLo, false)
+	mayVdd := s.reach(append(append([]netlist.NodeID(nil), seedHi...), seedX...), true)
+	mayVss := s.reach(append(append([]netlist.NodeID(nil), seedLo...), seedX...), true)
+
+	next := make([]Value, len(s.value))
+	copy(next, s.value)
+	var floating []netlist.NodeID
+	for id := range s.value {
+		nid := netlist.NodeID(id)
+		if s.driven[id] {
+			continue
+		}
+		switch {
+		case defVdd[id] && defVss[id]:
+			// A fight. Ratioed logic (pseudo-NMOS, keepers vs. write
+			// drivers) is *designed* to fight, with the intended winner
+			// sized decisively stronger; resolve by path strength.
+			next[id] = s.resolveFight(nid, seedHi, seedLo)
+		case defVdd[id] && !mayVss[id]:
+			next[id] = Hi
+		case defVss[id] && !mayVdd[id]:
+			next[id] = Lo
+		case defVdd[id] && mayVss[id]:
+			// Definitely pulled high, possibly also pulled low. If the
+			// definite high side beats the worst-case (fully
+			// conducting) low side by the sizing ratio, the level is
+			// resolved regardless of the uncertainty — this is what
+			// lets sized structures (DCVSL, keepers) escape X-lock.
+			hi := s.pathStrength(nid, seedHi, false)
+			lo := s.pathStrength(nid, append(append([]netlist.NodeID(nil), seedLo...), seedX...), true)
+			if hi >= strengthRatio*lo {
+				next[id] = Hi
+			} else {
+				next[id] = X
+			}
+		case defVss[id] && mayVdd[id]:
+			lo := s.pathStrength(nid, seedLo, false)
+			hi := s.pathStrength(nid, append(append([]netlist.NodeID(nil), seedHi...), seedX...), true)
+			if lo >= strengthRatio*hi {
+				next[id] = Lo
+			} else {
+				next[id] = X
+			}
+		case mayVdd[id] || mayVss[id]:
+			// Some uncertain drive: conservatively unknown, unless the
+			// only uncertainty agrees with one rail and excludes the
+			// other entirely.
+			switch {
+			case mayVdd[id] && !mayVss[id] && s.value[id] == Hi:
+				// Possibly pulled to the value it already holds: keep.
+			case mayVss[id] && !mayVdd[id] && s.value[id] == Lo:
+				// Same, low side.
+			default:
+				next[id] = X
+			}
+		default:
+			floating = append(floating, nid)
+		}
+	}
+
+	// Charge sharing among floating nodes: nodes joined by definitely
+	// conducting channels share charge. Conservative resolution: if the
+	// island holds mixed values, the island goes X; a maybe-conducting
+	// bridge to a different value also degrades to X (Figure 3's charge
+	// share hazard). Capacitance-weighted resolution is the checks
+	// package's refinement; simulation stays conservative.
+	isFloating := make(map[netlist.NodeID]bool, len(floating))
+	for _, id := range floating {
+		isFloating[id] = true
+	}
+	seen := make(map[netlist.NodeID]bool)
+	for _, start := range floating {
+		if seen[start] {
+			continue
+		}
+		island := []netlist.NodeID{start}
+		seen[start] = true
+		mixed := false
+		degraded := false
+		v := s.value[start]
+		for i := 0; i < len(island); i++ {
+			at := island[i]
+			for _, d := range s.devsByNode[at] {
+				other := d.Source
+				if other == at {
+					other = d.Drain
+				}
+				switch s.conducts(d) {
+				case on:
+					if isFloating[other] && !seen[other] {
+						seen[other] = true
+						island = append(island, other)
+						if s.value[other] != v {
+							mixed = true
+						}
+					}
+				case maybe:
+					if isFloating[other] && s.value[other] != v {
+						degraded = true
+					}
+				}
+			}
+		}
+		if mixed || degraded {
+			for _, id := range island {
+				next[id] = X
+			}
+		}
+		// Otherwise the island retains its stored charge (next already
+		// carries the old value).
+	}
+
+	var changed []netlist.NodeID
+	for id := range next {
+		if next[id] != s.value[id] {
+			changed = append(changed, netlist.NodeID(id))
+		}
+	}
+	copy(s.value, next)
+	return changed
+}
+
+// reach returns, for every node, whether a conducting path from any seed
+// exists. If includeMaybe, maybe-conducting devices are traversable.
+// Propagation does not continue *through* an externally driven node: the
+// driver pins it, and the driven node is itself a seed of its own value.
+func (s *Sim) reach(seeds []netlist.NodeID, includeMaybe bool) []bool {
+	out := make([]bool, len(s.value))
+	queue := make([]netlist.NodeID, 0, len(seeds))
+	for _, r := range seeds {
+		if !out[r] {
+			out[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		for _, d := range s.devsByNode[at] {
+			c := s.conducts(d)
+			if c == off || (c == maybe && !includeMaybe) {
+				continue
+			}
+			other := d.Source
+			if other == at {
+				other = d.Drain
+			}
+			if out[other] || s.c.IsSupply(other) {
+				continue
+			}
+			out[other] = true
+			// External drives pin their node; conduction does not
+			// propagate through a driven node onto others (the driver
+			// wins locally in this abstraction).
+			if !s.driven[other] {
+				queue = append(queue, other)
+			}
+		}
+	}
+	return out
+}
+
+// strengthRatio is the sizing margin at which one side of a fight is
+// declared the winner: the checks package's writability analysis uses a
+// comparable margin. Below it, the result is conservatively X.
+const strengthRatio = 2.0
+
+// resolveFight decides a node connected to both rails at once. Each
+// side's strength is the widest-path conductance (max over paths of the
+// minimum device conductance along the path) from the node to that
+// side's seeds through definitely-conducting devices.
+func (s *Sim) resolveFight(id netlist.NodeID, seedHi, seedLo []netlist.NodeID) Value {
+	hi := s.pathStrength(id, seedHi, false)
+	lo := s.pathStrength(id, seedLo, false)
+	switch {
+	case lo >= strengthRatio*hi && lo > 0:
+		return Lo
+	case hi >= strengthRatio*lo && hi > 0:
+		return Hi
+	default:
+		return X
+	}
+}
+
+// conductanceOf returns a device's channel conductance proxy (W/Leff,
+// derated for PMOS mobility).
+func conductanceOf(d *netlist.Device) float64 {
+	g := d.W / d.Leff()
+	if d.Type == process.PMOS {
+		g *= 0.4
+	}
+	return g
+}
+
+// pathStrength computes the widest-path strength from id to any seed via
+// conducting devices, by fixpoint relaxation (the graphs are small;
+// simplicity beats a heap here). With includeMaybe, maybe-conducting
+// devices count as fully conducting (a worst-case bound).
+func (s *Sim) pathStrength(id netlist.NodeID, seeds []netlist.NodeID, includeMaybe bool) float64 {
+	const inf = 1e18
+	str := make([]float64, len(s.value))
+	// Strength never propagates *through* a pinned node (a rail or an
+	// externally driven input) unless that node is a seed of this side.
+	blocked := make([]bool, len(s.value))
+	for i := range blocked {
+		nid := netlist.NodeID(i)
+		blocked[i] = s.c.IsSupply(nid) || s.driven[i]
+	}
+	for _, r := range seeds {
+		str[r] = inf
+		blocked[r] = false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range s.c.Devices {
+			c := s.conducts(d)
+			if c == off || (c == maybe && !includeMaybe) {
+				continue
+			}
+			g := conductanceOf(d)
+			a, b := d.Source, d.Drain
+			if !blocked[a] || str[a] == inf {
+				if v := min2(str[a], g); v > str[b] {
+					str[b] = v
+					changed = true
+				}
+			}
+			if !blocked[b] || str[b] == inf {
+				if v := min2(str[b], g); v > str[a] {
+					str[a] = v
+					changed = true
+				}
+			}
+		}
+	}
+	return str[id]
+}
+
+// min2 returns the smaller of two float64s.
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Steps returns the cumulative relaxation iterations (a simulation cost
+// metric).
+func (s *Sim) Steps() int { return s.steps }
+
+// Snapshot returns a name→value map of all non-supply nodes, for test
+// assertions and trace dumps.
+func (s *Sim) Snapshot() map[string]Value {
+	out := make(map[string]Value)
+	for id, n := range s.c.Nodes {
+		if !s.c.IsSupply(netlist.NodeID(id)) {
+			out[n.Name] = s.value[id]
+		}
+	}
+	return out
+}
+
+// UnknownNodes returns the sorted names of nodes currently at X.
+func (s *Sim) UnknownNodes() []string {
+	var out []string
+	for id, n := range s.c.Nodes {
+		if s.value[id] == X && !s.c.IsSupply(netlist.NodeID(id)) {
+			out = append(out, n.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
