@@ -3,6 +3,7 @@
 // flattens it, and runs the requested tool:
 //
 //	fcv verify  <deck.sp> [top]   # recognition + §4.2 battery + timing (CBV)
+//	fcv lint    <deck.sp> [top]   # static netlist analysis (FCV001…) over every cell
 //	fcv recog   <deck.sp> [top]   # recognition only
 //	fcv checks  <deck.sp> [top]   # §4.2 electrical battery
 //	fcv timing  <deck.sp> [top]   # critical paths and races
@@ -15,9 +16,17 @@
 //
 //	-process cmos075|cmos050|cmos035lp   (default cmos075)
 //	-period  <ps>                        clock period (default: process nominal)
+//
+// lint takes its own flags after the subcommand:
+//
+//	fcv lint [-format text|json|sarif] [-waivers file] [-fanout N] <deck.sp> [top]
+//
+// and exits 0 on a clean (or fully waived) deck, 1 when unwaived
+// error-severity findings remain — so CI can gate on it directly.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +36,7 @@ import (
 	"repro/internal/checks"
 	"repro/internal/core"
 	"repro/internal/layout"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/power"
 	"repro/internal/process"
@@ -35,6 +45,11 @@ import (
 	"repro/internal/timing"
 )
 
+// errLintFindings marks the "deck has unwaived error findings" outcome,
+// so main can give it the conventional lint exit code (1) while other
+// failures exit 2.
+var errLintFindings = errors.New("lint findings")
+
 var (
 	procName = flag.String("process", "cmos075", "process model: cmos075, cmos050, cmos035lp")
 	periodPS = flag.Float64("period", 0, "clock period in ps (0 = process nominal)")
@@ -42,7 +57,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|recog|checks|timing|layout|cbc|sim|power> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|lint|recog|checks|timing|layout|cbc|sim|power> [args]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,8 +67,12 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(args[0], args[1:]); err != nil {
+		if errors.Is(err, errLintFindings) {
+			fmt.Fprintf(os.Stderr, "fcv: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "fcv: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 }
 
@@ -122,6 +141,9 @@ func run(cmd string, args []string) error {
 			fmt.Printf("  %s = %d\n", out.Name, sim.Get(out.Name))
 		}
 		return nil
+
+	case "lint":
+		return runLint(args, os.Stdout)
 	}
 
 	// Netlist-based subcommands.
@@ -214,14 +236,83 @@ func run(cmd string, args []string) error {
 	return fmt.Errorf("unknown subcommand %q", cmd)
 }
 
+// runLint is the lint subcommand: parse the deck, lint every cell in
+// parallel, render in the requested format, and signal unwaived
+// error-severity findings through errLintFindings (exit code 1).
+func runLint(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	format := fs.String("format", "text", "output format: text, json, sarif")
+	waiverPath := fs.String("waivers", "", "waiver file (RULE CELL SUBJECT note… per line)")
+	fanout := fs.Int("fanout", 0, "FCV010 gate-fanout ceiling (0 = default 64)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 1 {
+		return fmt.Errorf("lint needs a SPICE deck")
+	}
+	lib, top, err := netlist.ParseFile(rest[0])
+	if err != nil {
+		return err
+	}
+	opt := lint.LibraryOptions{}
+	opt.FanoutLimit = *fanout
+	if *waiverPath != "" {
+		w, err := lint.LoadWaivers(*waiverPath)
+		if err != nil {
+			return err
+		}
+		opt.Waivers = w
+	}
+	// The top-level element soup becomes a cell too, and the design
+	// roots (for FCV008 reachability) follow loadFlat's inference: the
+	// named top, else the soup, else the last-defined cell.
+	switch {
+	case len(rest) >= 2:
+		if lib.Cell(rest[1]) == nil {
+			return fmt.Errorf("lint: unknown cell %q", rest[1])
+		}
+		opt.Roots = []string{rest[1]}
+	case len(top.Devices) > 0 || len(top.Instances) > 0 || len(top.Resistors) > 0:
+		lib.Add(top)
+		opt.Roots = []string{top.Name}
+	default:
+		if cells := lib.Cells(); len(cells) > 0 {
+			opt.Roots = []string{cells[len(cells)-1]}
+		}
+	}
+	rep, err := lint.LintLibrary(lib, opt)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "text":
+		fmt.Fprint(out, rep.Text())
+	case "json":
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(b))
+	case "sarif":
+		b, err := rep.SARIF()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(b))
+	default:
+		return fmt.Errorf("lint: unknown format %q (want text, json or sarif)", *format)
+	}
+	if rep.HasErrors() {
+		errs, _, _ := rep.Counts()
+		return fmt.Errorf("%w: %d unwaived error(s)", errLintFindings, errs)
+	}
+	return nil
+}
+
 // loadFlat parses a deck and flattens the requested (or inferred) top.
 func loadFlat(args []string) (*netlist.Circuit, error) {
-	f, err := os.Open(args[0])
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	lib, top, err := netlist.Parse(f)
+	lib, top, err := netlist.ParseFile(args[0])
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,16 @@
+* Deliberately defective deck: each block seeds one lint rule, on a line
+* the regression tests assert. Run: go run ./cmd/fcv lint examples/decks/broken_lint.sp
+.subckt broken_cell in clk out bufo
+* FCV001 (error): gate net "ghost" is driven by nothing anywhere.
+mflt out ghost vss vss nmos w=2 l=0.75
+mfp  out in    vdd vdd pmos w=4 l=0.75
+* FCV003 (error): grounded-drain NMOS gated by vdd — an always-on VDD to VSS sneak path.
+msn  vdd vdd   vss vss nmos w=2 l=0.75
+* FCV005 (warn): dynamic node with precharge and evaluate but no keeper.
+mpre dyn clk   vdd vdd pmos w=4 l=0.75
+mev  dyn in    vss vss nmos w=6 l=0.75
+mbn  bufo dyn  vss vss nmos w=2 l=0.75
+mbp  bufo dyn  vdd vdd pmos w=4 l=0.75
+* FCV004 (warn): node "stub" touches exactly one device terminal.
+mdg  stub in   vss vss nmos w=2 l=0.75
+.ends

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/checks"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/process"
 	"repro/internal/recognize"
@@ -44,6 +45,31 @@ type Options struct {
 	AntennaRatios map[string]float64
 	// CouplingPessimism forwards to the timing verifier.
 	CouplingPessimism float64
+	// Lint enables the static pre-verification gate: the lint rule set
+	// runs before the electrical battery, its report is attached to the
+	// Report, and unwaived error-severity findings abort verification
+	// with a *LintGateError — a structurally broken circuit would only
+	// produce meaningless electrical and timing numbers.
+	Lint bool
+	// LintOptions configures the gate (waivers, fanout ceiling, …).
+	LintOptions lint.Options
+}
+
+// LintGateError is returned by Verify when the opt-in lint gate finds
+// error-severity structural defects. It carries the full report so
+// callers can render or waive the findings.
+type LintGateError struct {
+	// Design is the rejected circuit's name.
+	Design string
+	// Report is the lint result that tripped the gate.
+	Report *lint.Report
+}
+
+// Error summarizes the gate failure.
+func (e *LintGateError) Error() string {
+	errs, warns, _ := e.Report.Counts()
+	return fmt.Sprintf("core: lint gate: %s has %d error-severity finding(s) (%d warning(s)); fix or waive them before verification",
+		e.Design, errs, warns)
 }
 
 // Report is the merged CBV result for one design.
@@ -63,6 +89,10 @@ type Report struct {
 	// methodology's cost metric (§4.3: "As the number of false
 	// violations goes up, the productivity of the designer goes down").
 	InspectLoad int
+	// Lint is the static-analysis report when the Options.Lint gate was
+	// enabled (nil otherwise). Unwaived warnings count toward
+	// InspectLoad; errors never reach here (Verify aborts).
+	Lint *lint.Report
 }
 
 // Verify runs the full CBV pipeline on a flat circuit.
@@ -76,6 +106,13 @@ func Verify(c *netlist.Circuit, opt Options) (*Report, error) {
 	rec, err := recognize.Analyze(c)
 	if err != nil {
 		return nil, err
+	}
+	var lintRep *lint.Report
+	if opt.Lint {
+		lintRep = lint.RunRecognized(rec, opt.LintOptions)
+		if lintRep.HasErrors() {
+			return nil, &LintGateError{Design: c.Name, Report: lintRep}
+		}
 	}
 	chk, err := checks.RunAll(rec, checks.Options{
 		Proc:          opt.Proc,
@@ -100,10 +137,20 @@ func Verify(c *netlist.Circuit, opt Options) (*Report, error) {
 		Checks:      chk,
 		Timing:      tim,
 		Verdict:     checks.Pass,
+		Lint:        lintRep,
 	}
 	bump := func(v checks.Verdict) {
 		if v > rep.Verdict {
 			rep.Verdict = v
+		}
+	}
+	if lintRep != nil {
+		// Surviving lint warnings are designer-judgement items, exactly
+		// the Inspect bucket of the filtering philosophy.
+		_, warns, _ := lintRep.Counts()
+		if warns > 0 {
+			bump(checks.Inspect)
+			rep.InspectLoad += warns
 		}
 	}
 	for _, f := range chk.Findings {
@@ -134,6 +181,10 @@ func Verify(c *netlist.Circuit, opt Options) (*Report, error) {
 func (r *Report) Summary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "CBV report for %s: verdict=%s inspect-load=%d\n", r.Design, r.Verdict, r.InspectLoad)
+	if r.Lint != nil {
+		le, lw, li := r.Lint.Counts()
+		fmt.Fprintf(&sb, "  lint: %d error(s), %d warning(s), %d info(s)\n", le, lw, li)
+	}
 	fmt.Fprintf(&sb, "  recognition: %s\n", r.Recognition.Summary())
 	p, i, v := r.Checks.Counts()
 	fmt.Fprintf(&sb, "  checks: pass=%d inspect=%d violation=%d (filter %.0f%%)\n",

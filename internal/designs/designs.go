@@ -181,6 +181,11 @@ func LatchPipeline(k int, racy bool) *netlist.Circuit {
 		if !racy && i%2 == 1 {
 			ck, ckn = "phi2", "phi2_n"
 		}
+		// Clocks are part of the cell's interface (DeclarePort is
+		// idempotent); leaving them undeclared reads as floating gates
+		// to the linter.
+		c.DeclarePort(ck)
+		c.DeclarePort(ckn)
 		q := fmt.Sprintf("q%d", i)
 		AddTGLatch(c, fmt.Sprintf("l%d", i), prev, ck, ckn, q)
 		// One inverter pair of logic between stages.

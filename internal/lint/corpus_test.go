@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/netlist"
+)
+
+// TestDesignsCorpusLintClean runs every shipped design generator through
+// the full rule set. The generators are the repo's reference circuits;
+// they must stay lint-clean so "fcv lint is quiet" means something.
+func TestDesignsCorpusLintClean(t *testing.T) {
+	corpus := map[string]*netlist.Circuit{
+		"inverter_chain":   designs.InverterChain(8),
+		"domino_adder":     designs.DominoAdder(8),
+		"latch_pipeline":   designs.LatchPipeline(6, false),
+		"racy_pipeline":    designs.LatchPipeline(4, true),
+		"sram_array":       designs.SRAMArray(4, 4, 0.09),
+		"pass_mux":         designs.PassMux(4),
+		"register_file":    designs.RegisterFile(2, 4),
+		"dcvsl_comparator": designs.DCVSLComparator(4),
+	}
+	for name, c := range corpus {
+		rep, err := Run(c, Options{})
+		if err != nil {
+			t.Errorf("%s: lint failed: %v", name, err)
+			continue
+		}
+		for _, d := range rep.Diags {
+			t.Errorf("%s: unexpected finding: %s %s %s: %s", name, d.Severity, d.Rule, d.Subject, d.Message)
+		}
+	}
+}
+
+// corpusLibrary builds a multi-cell library with a hierarchy for the
+// parallel-lint tests: leaf cells, a mid cell instantiating them, and an
+// orphan nothing reaches.
+func corpusLibrary(t *testing.T) *netlist.Library {
+	t.Helper()
+	lib := netlist.NewLibrary()
+	for i := 0; i < 6; i++ {
+		inv := netlist.New(fmt.Sprintf("inv%d", i))
+		inv.DeclarePort("a")
+		inv.DeclarePort("y")
+		designs.AddInverter(inv, fmt.Sprintf("i%d", i), "a", "y", 2, 4)
+		lib.Add(inv)
+	}
+	mid := netlist.New("mid")
+	mid.DeclarePort("a")
+	mid.DeclarePort("y")
+	for i := 0; i < 4; i++ {
+		mid.AddInstance(fmt.Sprintf("x%d", i), fmt.Sprintf("inv%d", i),
+			fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1))
+	}
+	mid.AddInstance("xin", "inv4", "a", "n0")
+	mid.AddInstance("xout", "inv5", "n4", "y")
+	lib.Add(mid)
+	orphan := netlist.New("orphan")
+	orphan.DeclarePort("a")
+	orphan.DeclarePort("y")
+	designs.AddInverter(orphan, "i", "a", "y", 2, 4)
+	lib.Add(orphan)
+	return lib
+}
+
+// TestLintLibraryDeterministic runs the parallel driver repeatedly with
+// different worker counts; the rendered output must be byte-identical.
+func TestLintLibraryDeterministic(t *testing.T) {
+	lib := corpusLibrary(t)
+	var want []byte
+	for run := 0; run < 4; run++ {
+		for _, workers := range []int{1, 2, 8} {
+			rep, err := LintLibrary(lib, LibraryOptions{
+				Options: Options{},
+				Roots:   []string{"mid"},
+				Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := []byte(rep.Text())
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("run %d workers %d: output differs:\n--- first\n%s--- now\n%s",
+					run, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestUnusedCellRule checks FCV008: with a root, the orphan cell is
+// reported; with no roots every uninstantiated cell is its own entry
+// point and the rule stays silent.
+func TestUnusedCellRule(t *testing.T) {
+	lib := corpusLibrary(t)
+	rep, err := LintLibrary(lib, LibraryOptions{Roots: []string{"mid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unused []string
+	for _, d := range rep.Diags {
+		if d.Rule == UnusedCellRuleID {
+			if d.Severity != Info {
+				t.Errorf("FCV008 severity = %v, want info", d.Severity)
+			}
+			unused = append(unused, d.Subject)
+		}
+	}
+	if len(unused) != 1 || unused[0] != "orphan" {
+		t.Errorf("FCV008 subjects = %v, want [orphan]", unused)
+	}
+
+	rep, err = LintLibrary(lib, LibraryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Diags {
+		if d.Rule == UnusedCellRuleID {
+			t.Errorf("FCV008 with no roots reported %s", d.Subject)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package lint is a rule-based static analyzer for transistor netlists —
+// the front gate of the CBV pipeline.
+//
+// The paper's methodology (§2.3, §4.2) is built on tools that deduce
+// constraints "automatically and conservatively … from the topology and
+// context of the actual transistors", filter the circuits that are fine
+// and report the ones that might not be. Simulation and timing can only
+// do that for circuits that are structurally well formed; this package
+// catches the defects that make them meaningless before they run:
+// floating gates, nodes with no DC path to a rail, always-on supply
+// sneak paths, keeperless dynamic nodes, dangling terminals.
+//
+// Every rule has a stable ID (FCV001…), a fixed default severity, and is
+// deduced purely from netlist structure plus recognition results — no
+// designer annotations required. Diagnostics carry cell, subject and the
+// SPICE deck file:line of a representative element, render as text, JSON
+// or SARIF 2.1.0, and can be waived individually for intentional
+// violations (see Waivers).
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/recognize"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities, ordered so higher is worse.
+const (
+	// Info is advisory: worth knowing, never wrong by itself.
+	Info Severity = iota
+	// Warn is a structure that works only under assumptions the linter
+	// cannot verify (threshold drops, keeperless storage, huge fanout).
+	Warn
+	// Error is a structural defect: the circuit cannot behave as a
+	// digital network (floating input, undrivable node, DC short).
+	Error
+)
+
+// String returns the severity name.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warn:
+		return "warn"
+	default:
+		return "info"
+	}
+}
+
+// Diag is one finding of one rule on one circuit object.
+type Diag struct {
+	// Rule is the stable rule ID ("FCV003").
+	Rule string
+	// Severity classifies the finding.
+	Severity Severity
+	// Cell names the circuit the finding is in.
+	Cell string
+	// Subject names the node, device or cell concerned — the handle a
+	// waiver matches against.
+	Subject string
+	// Loc is the deck position of a representative element (zero for
+	// programmatically built circuits).
+	Loc netlist.Loc
+	// Message is the human-readable explanation.
+	Message string
+	// Waived reports that a waiver matched; waived findings are kept in
+	// reports (annotated) but never drive exit codes or the Verify gate.
+	Waived bool
+	// WaiverNote is the justification from the matching waiver entry.
+	WaiverNote string
+}
+
+// Rule is one static check over an analyzed circuit.
+type Rule interface {
+	// ID is the stable identifier (FCVnnn).
+	ID() string
+	// Severity is the rule's default severity (individual diagnostics
+	// may downgrade/upgrade, e.g. absurd-vs-nonpositive geometry).
+	Severity() Severity
+	// Title is a one-line description for rule tables and SARIF
+	// metadata.
+	Title() string
+	// Check runs the rule, emitting diagnostics through the context.
+	Check(ctx *Context)
+}
+
+// Options configures a lint run.
+type Options struct {
+	// Rules selects the rule set; nil means DefaultRules().
+	Rules []Rule
+	// Waivers suppresses matching findings (nil: nothing waived).
+	Waivers *Waivers
+	// FanoutLimit is the FCV010 gate-fanout ceiling (0: default 64).
+	FanoutLimit int
+	// MaxWL and MinWL bound the FCV007 aspect-ratio sanity window
+	// (0: defaults 500 and 0.02).
+	MaxWL, MinWL float64
+	// MaxWUm and MaxLUm bound single-device geometry in µm
+	// (0: defaults 1000 and 100).
+	MaxWUm, MaxLUm float64
+}
+
+func (o Options) fanoutLimit() int { return defInt(o.FanoutLimit, 64) }
+func (o Options) maxWL() float64   { return defF(o.MaxWL, 500) }
+func (o Options) minWL() float64   { return defF(o.MinWL, 0.02) }
+func (o Options) maxW() float64    { return defF(o.MaxWUm, 1000) }
+func (o Options) maxL() float64    { return defF(o.MaxLUm, 100) }
+
+func defInt(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+func defF(v, d float64) float64 {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// Context is the per-circuit view rules run against. It carries the
+// recognition result plus structural indexes shared by the rules.
+type Context struct {
+	// Circuit is the flat circuit under analysis.
+	Circuit *netlist.Circuit
+	// Rec is the recognition result (CCCs, families, clocks, drivers).
+	Rec *recognize.Result
+	// Opt is the run configuration.
+	Opt Options
+
+	// gateReaders maps a node to the devices reading it as a gate,
+	// in device order.
+	gateReaders map[netlist.NodeID][]*netlist.Device
+	// channelRefs counts source/drain terminal references per node.
+	channelRefs map[netlist.NodeID]int
+	// resistorsOn maps a node to attached resistors.
+	resistorsOn map[netlist.NodeID][]*netlist.Resistor
+
+	diags *[]Diag
+}
+
+// newContext builds the shared indexes for one circuit.
+func newContext(c *netlist.Circuit, rec *recognize.Result, opt Options, sink *[]Diag) *Context {
+	ctx := &Context{
+		Circuit:     c,
+		Rec:         rec,
+		Opt:         opt,
+		gateReaders: make(map[netlist.NodeID][]*netlist.Device),
+		channelRefs: make(map[netlist.NodeID]int),
+		resistorsOn: make(map[netlist.NodeID][]*netlist.Resistor),
+		diags:       sink,
+	}
+	for _, d := range c.Devices {
+		ctx.gateReaders[d.Gate] = append(ctx.gateReaders[d.Gate], d)
+		ctx.channelRefs[d.Source]++
+		ctx.channelRefs[d.Drain]++
+	}
+	for _, r := range c.Resistors {
+		ctx.resistorsOn[r.A] = append(ctx.resistorsOn[r.A], r)
+		ctx.resistorsOn[r.B] = append(ctx.resistorsOn[r.B], r)
+	}
+	return ctx
+}
+
+// Report emits a finding. The rule fills Rule/Severity via the typed
+// helpers on rule below; direct callers must set them.
+func (ctx *Context) Report(d Diag) {
+	d.Cell = ctx.Circuit.Name
+	*ctx.diags = append(*ctx.diags, d)
+}
+
+// nodeLoc returns the deck location of a representative device on the
+// node: the first device reading it as a gate, else the first device
+// channel-connected to it, else the zero Loc.
+func (ctx *Context) nodeLoc(id netlist.NodeID) netlist.Loc {
+	if devs := ctx.gateReaders[id]; len(devs) > 0 {
+		return devs[0].Loc
+	}
+	for _, d := range ctx.Circuit.Devices {
+		if d.Source == id || d.Drain == id {
+			return d.Loc
+		}
+	}
+	return netlist.Loc{}
+}
+
+// Report is the outcome of linting one circuit or a whole library.
+type Report struct {
+	// Diags are the findings in deterministic order: by cell, rule,
+	// subject, then location.
+	Diags []Diag
+}
+
+// sortDiags establishes the deterministic report order.
+func sortDiags(ds []Diag) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Cell != b.Cell {
+			return a.Cell < b.Cell
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Loc.File != b.Loc.File {
+			return a.Loc.File < b.Loc.File
+		}
+		if a.Loc.Line != b.Loc.Line {
+			return a.Loc.Line < b.Loc.Line
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Counts returns the number of unwaived findings per severity.
+func (r *Report) Counts() (errs, warns, infos int) {
+	for _, d := range r.Diags {
+		if d.Waived {
+			continue
+		}
+		switch d.Severity {
+		case Error:
+			errs++
+		case Warn:
+			warns++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// HasErrors reports whether any unwaived error-severity finding exists —
+// the condition that drives nonzero exit codes and the Verify gate.
+func (r *Report) HasErrors() bool {
+	e, _, _ := r.Counts()
+	return e > 0
+}
+
+// ByRule returns unwaived finding counts keyed by rule ID.
+func (r *Report) ByRule() map[string]int {
+	m := make(map[string]int)
+	for _, d := range r.Diags {
+		if !d.Waived {
+			m[d.Rule]++
+		}
+	}
+	return m
+}
+
+// Run lints one flat circuit (instances must be flattened away, as for
+// recognition). The circuit must pass netlist.Validate — lint analyzes
+// structure, it does not repair it.
+func Run(c *netlist.Circuit, opt Options) (*Report, error) {
+	rec, err := recognize.Analyze(c)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	return RunRecognized(rec, opt), nil
+}
+
+// RunRecognized lints a circuit whose recognition result the caller
+// already has (the CBV pipeline computes it anyway).
+func RunRecognized(rec *recognize.Result, opt Options) *Report {
+	rules := opt.Rules
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	var diags []Diag
+	ctx := newContext(rec.Circuit, rec, opt, &diags)
+	for _, rule := range rules {
+		rule.Check(ctx)
+	}
+	applyWaivers(diags, opt.Waivers)
+	sortDiags(diags)
+	return &Report{Diags: diags}
+}
+
+// applyWaivers marks matching diagnostics as waived.
+func applyWaivers(ds []Diag, w *Waivers) {
+	if w == nil {
+		return
+	}
+	for i := range ds {
+		if entry := w.match(&ds[i]); entry != nil {
+			ds[i].Waived = true
+			ds[i].WaiverNote = entry.Note
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Text renders the report in compiler style, one finding per line:
+//
+//	deck.sp:12: error FCV001 [cell] ghost: gate net ghost is driven by …
+//
+// followed by a one-line summary. Deterministic: Diags are pre-sorted.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	for _, d := range r.Diags {
+		if !d.Loc.IsZero() {
+			fmt.Fprintf(&sb, "%s: ", d.Loc)
+		}
+		fmt.Fprintf(&sb, "%s %s [%s] %s: %s", d.Severity, d.Rule, d.Cell, d.Subject, d.Message)
+		if d.Waived {
+			sb.WriteString(" (waived")
+			if d.WaiverNote != "" {
+				sb.WriteString(": " + d.WaiverNote)
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteByte('\n')
+	}
+	e, w, i := r.Counts()
+	waived := 0
+	for _, d := range r.Diags {
+		if d.Waived {
+			waived++
+		}
+	}
+	fmt.Fprintf(&sb, "lint: %d error(s), %d warning(s), %d info(s), %d waived\n", e, w, i, waived)
+	return sb.String()
+}
+
+// jsonDiag is the stable JSON shape of one finding.
+type jsonDiag struct {
+	Rule       string `json:"rule"`
+	Severity   string `json:"severity"`
+	Cell       string `json:"cell"`
+	Subject    string `json:"subject"`
+	File       string `json:"file,omitempty"`
+	Line       int    `json:"line,omitempty"`
+	Message    string `json:"message"`
+	Waived     bool   `json:"waived,omitempty"`
+	WaiverNote string `json:"waiverNote,omitempty"`
+}
+
+// jsonReport is the stable JSON shape of a report.
+type jsonReport struct {
+	Findings []jsonDiag `json:"findings"`
+	Errors   int        `json:"errors"`
+	Warnings int        `json:"warnings"`
+	Infos    int        `json:"infos"`
+}
+
+// JSON renders the report as stable, indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	out := jsonReport{Findings: make([]jsonDiag, 0, len(r.Diags))}
+	out.Errors, out.Warnings, out.Infos = r.Counts()
+	for _, d := range r.Diags {
+		out.Findings = append(out.Findings, jsonDiag{
+			Rule:       d.Rule,
+			Severity:   d.Severity.String(),
+			Cell:       d.Cell,
+			Subject:    d.Subject,
+			File:       d.Loc.File,
+			Line:       d.Loc.Line,
+			Message:    d.Message,
+			Waived:     d.Waived,
+			WaiverNote: d.WaiverNote,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,148 @@
+// SARIF 2.1.0 emission, so CI systems (GitHub code scanning, GitLab,
+// Jenkins warnings-ng) can annotate SPICE decks with lint findings the
+// same way they annotate source code.
+package lint
+
+import "encoding/json"
+
+// The subset of the SARIF 2.1.0 object model the linter emits. Field
+// names follow the specification exactly; everything optional that we
+// don't populate is omitted.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string          `json:"name"`
+	InformationURI string          `json:"informationUri,omitempty"`
+	Version        string          `json:"version,omitempty"`
+	Rules          []sarifRuleDesc `json:"rules"`
+}
+
+type sarifRuleDesc struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	DefaultConfig    *sarifConfig `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations,omitempty"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	LogicalLocations []sarifLogicalLoc     `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+type sarifLogicalLoc struct {
+	Name               string `json:"name"`
+	FullyQualifiedName string `json:"fullyQualifiedName,omitempty"`
+	Kind               string `json:"kind,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// sarifLevel maps a severity to the SARIF result level.
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warn:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// SARIF renders the report as a SARIF 2.1.0 log. Waived findings are
+// included with an "external" suppression carrying the waiver note, so
+// CI shows them as suppressed rather than dropping them silently.
+func (r *Report) SARIF() ([]byte, error) {
+	driver := sarifDriver{
+		Name:           "fcv-lint",
+		InformationURI: "https://github.com/paper-repro/fcv",
+	}
+	for _, rule := range DefaultRules() {
+		driver.Rules = append(driver.Rules, sarifRuleDesc{
+			ID:               rule.ID(),
+			ShortDescription: sarifMessage{Text: rule.Title()},
+			DefaultConfig:    &sarifConfig{Level: sarifLevel(rule.Severity())},
+		})
+	}
+	results := make([]sarifResult, 0, len(r.Diags))
+	for _, d := range r.Diags {
+		res := sarifResult{
+			RuleID:  d.Rule,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: d.Message},
+		}
+		loc := sarifLocation{
+			LogicalLocations: []sarifLogicalLoc{{
+				Name:               d.Subject,
+				FullyQualifiedName: d.Cell + "/" + d.Subject,
+				Kind:               "member",
+			}},
+		}
+		if d.Loc.File != "" {
+			loc.PhysicalLocation.ArtifactLocation.URI = d.Loc.File
+			if d.Loc.Line > 0 {
+				loc.PhysicalLocation.Region = &sarifRegion{StartLine: d.Loc.Line}
+			}
+			res.Locations = append(res.Locations, loc)
+		} else {
+			// No physical location: keep the logical one so the finding
+			// still names its cell and subject.
+			loc.PhysicalLocation.ArtifactLocation.URI = d.Cell + ".cell"
+			res.Locations = append(res.Locations, loc)
+		}
+		if d.Waived {
+			res.Suppressions = []sarifSuppression{{Kind: "external", Justification: d.WaiverNote}}
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

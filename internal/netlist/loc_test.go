@@ -1,0 +1,170 @@
+package netlist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLocString(t *testing.T) {
+	cases := []struct {
+		loc  Loc
+		want string
+	}{
+		{Loc{}, ""},
+		{Loc{Line: 7}, "line 7"},
+		{Loc{File: "deck.sp", Line: 7}, "deck.sp:7"},
+	}
+	for _, c := range cases {
+		if got := c.loc.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.loc, got, c.want)
+		}
+	}
+	if !(Loc{}).IsZero() {
+		t.Error("zero Loc not IsZero")
+	}
+	if (Loc{Line: 1}).IsZero() {
+		t.Error("located Loc claims IsZero")
+	}
+}
+
+const locDeck = `* header comment
+.subckt cell a y
+mn y a vss vss nmos w=2 l=0.75
+mp y a vdd vdd pmos w=4 l=0.75
+rw y yw 120
+.ends
+x1 in mid cell
+x2 mid out cell
+`
+
+func TestParseRecordsLocations(t *testing.T) {
+	lib, top, err := ParseNamed(strings.NewReader(locDeck), "deck.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := lib.Cell("cell")
+	if cell.Loc != (Loc{File: "deck.sp", Line: 2}) {
+		t.Errorf("cell loc = %v, want deck.sp:2", cell.Loc)
+	}
+	if got := cell.Devices[0].Loc; got != (Loc{File: "deck.sp", Line: 3}) {
+		t.Errorf("device mn loc = %v, want deck.sp:3", got)
+	}
+	if got := cell.Resistors[0].Loc; got != (Loc{File: "deck.sp", Line: 5}) {
+		t.Errorf("resistor loc = %v, want deck.sp:5", got)
+	}
+	if got := top.Instances[1].Loc; got != (Loc{File: "deck.sp", Line: 8}) {
+		t.Errorf("instance x2 loc = %v, want deck.sp:8", got)
+	}
+}
+
+func TestParseAnonymousKeepsLineNumbers(t *testing.T) {
+	lib, _, err := Parse(strings.NewReader(locDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := lib.Cell("cell").Devices[0]
+	if d.Loc.File != "" || d.Loc.Line != 3 {
+		t.Errorf("anonymous loc = %v, want line 3 with no file", d.Loc)
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deck.sp")
+	if err := os.WriteFile(path, []byte(locDeck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lib, _, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.Cell("cell").Devices[0].Loc.File; got != path {
+		t.Errorf("device loc file = %q, want %q", got, path)
+	}
+	if _, _, err := ParseFile(filepath.Join(t.TempDir(), "nope.sp")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestFlattenPreservesLoc(t *testing.T) {
+	lib, top, err := ParseNamed(strings.NewReader(locDeck), "deck.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.Add(top)
+	flat, err := lib.Flatten("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range flat.Devices {
+		if d.Loc.File != "deck.sp" || d.Loc.Line == 0 {
+			t.Errorf("flattened device %s lost its loc: %v", d.Name, d.Loc)
+		}
+	}
+}
+
+func TestValidateErrorsCiteDeckLines(t *testing.T) {
+	deck := `.subckt bad a y
+mdup y a vss vss nmos w=2 l=0.75
+mdup y a vdd vdd pmos w=4 l=0.75
+.ends
+`
+	lib, _, err := ParseNamed(strings.NewReader(deck), "dup.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := lib.Cell("bad").Validate()
+	if verr == nil || !strings.Contains(verr.Error(), "duplicate") || !strings.Contains(verr.Error(), "dup.sp:3") {
+		t.Errorf("Validate() = %v, want duplicate-name error citing dup.sp:3", verr)
+	}
+}
+
+func TestValidateSelfConnectedDevice(t *testing.T) {
+	c := New("bad")
+	c.NMOS("m1", "x", "x", "x", 2, 0.75)
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "self-connected") {
+		t.Errorf("Validate() = %v, want self-connected error", err)
+	}
+}
+
+func TestValidateInstanceConnRange(t *testing.T) {
+	c := New("bad")
+	inst := c.AddInstance("x1", "cell", "a", "b")
+	inst.Conns[1] = NodeID(99)
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "out-of-range connection") {
+		t.Errorf("Validate() = %v, want out-of-range connection error", err)
+	}
+}
+
+func TestFlattenUndeclaredSubcircuit(t *testing.T) {
+	_, top, err := Parse(strings.NewReader("x1 a b nosuchcell\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := NewLibrary()
+	lib.Add(top)
+	if _, err := lib.Flatten("top"); err == nil || !strings.Contains(err.Error(), "unknown cell") {
+		t.Errorf("Flatten = %v, want unknown-cell error", err)
+	}
+}
+
+func TestParseMoreErrorPaths(t *testing.T) {
+	cases := []struct {
+		deck string
+		want string
+	}{
+		{"m1 y a vss\n", "want M name"},
+		{"m1 y a vss vss nmos w=zz l=1\n", "bad numeric"},
+		{"c1 a vss zz\n", "bad numeric"},
+		{"r1 a b\n", "want R"},
+	}
+	for _, c := range cases {
+		_, _, err := Parse(strings.NewReader(c.deck))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("deck %q: error %v does not contain %q", c.deck, err, c.want)
+		}
+	}
+}

@@ -29,6 +29,41 @@ const (
 	VssName = "vss"
 )
 
+// Loc is a position in a source deck: the file and line an element was
+// parsed from. The zero Loc means "no source information" (circuits built
+// programmatically). Locations survive flattening so every diagnostic a
+// downstream tool emits — lint findings, Validate errors — can point at
+// the offending deck line.
+type Loc struct {
+	// File is the deck path as given to the parser ("" when unknown).
+	File string
+	// Line is the 1-based line number (0 when unknown).
+	Line int
+}
+
+// IsZero reports whether the location carries no information.
+func (l Loc) IsZero() bool { return l.File == "" && l.Line == 0 }
+
+// String renders "file:line", "line N" without a file, or "".
+func (l Loc) String() string {
+	switch {
+	case l.IsZero():
+		return ""
+	case l.File == "":
+		return fmt.Sprintf("line %d", l.Line)
+	default:
+		return fmt.Sprintf("%s:%d", l.File, l.Line)
+	}
+}
+
+// locSuffix renders a location as a parenthesized error-message suffix.
+func locSuffix(l Loc) string {
+	if l.IsZero() {
+		return ""
+	}
+	return " (" + l.String() + ")"
+}
+
 // NodeID indexes a node within one Circuit.
 type NodeID int
 
@@ -76,6 +111,9 @@ type Device struct {
 	// leakage-reduction knob ("devices … were lengthened by 0.045µm or
 	// 0.09µm as part of the design process").
 	ExtraL float64
+	// Loc is the deck position the device was parsed from (zero when
+	// built programmatically).
+	Loc Loc
 }
 
 // Leff returns the effective drawn channel length W/L computations use.
@@ -86,6 +124,8 @@ type Resistor struct {
 	Name string
 	A, B NodeID
 	Ohms float64
+	// Loc is the deck position the resistor was parsed from.
+	Loc Loc
 }
 
 // Instance is a reference to a subcircuit.
@@ -98,6 +138,8 @@ type Instance struct {
 	// Conns maps, positionally, the instantiated cell's ports to nodes
 	// of the parent circuit.
 	Conns []NodeID
+	// Loc is the deck position the instance was parsed from.
+	Loc Loc
 }
 
 // Circuit is one level of the design: devices, passives and instances
@@ -105,6 +147,8 @@ type Instance struct {
 type Circuit struct {
 	// Name is the circuit (cell) name.
 	Name string
+	// Loc is the deck position of the cell's .subckt card.
+	Loc Loc
 	// Ports lists interface nodes in declaration order.
 	Ports []NodeID
 
@@ -310,36 +354,48 @@ func (c *Circuit) Stats() Stats {
 }
 
 // Validate checks structural sanity: terminal IDs in range, positive
-// geometry, unique device names, ports marked.
+// geometry, unique device names, no fully self-connected devices, ports
+// marked. Errors cite the deck file:line when the element carries one.
 func (c *Circuit) Validate() error {
 	inRange := func(id NodeID) bool { return id >= 0 && int(id) < len(c.Nodes) }
 	seen := make(map[string]bool, len(c.Devices))
 	for _, d := range c.Devices {
 		if d.Name == "" {
-			return fmt.Errorf("netlist %s: unnamed device", c.Name)
+			return fmt.Errorf("netlist %s: unnamed device%s", c.Name, locSuffix(d.Loc))
 		}
 		if seen[d.Name] {
-			return fmt.Errorf("netlist %s: duplicate device name %q", c.Name, d.Name)
+			return fmt.Errorf("netlist %s: duplicate device name %q%s", c.Name, d.Name, locSuffix(d.Loc))
 		}
 		seen[d.Name] = true
 		for _, t := range []NodeID{d.Gate, d.Source, d.Drain, d.Bulk} {
 			if !inRange(t) {
-				return fmt.Errorf("netlist %s: device %s has out-of-range terminal %d", c.Name, d.Name, t)
+				return fmt.Errorf("netlist %s: device %s has out-of-range terminal %d%s", c.Name, d.Name, t, locSuffix(d.Loc))
 			}
 		}
+		if d.Gate == d.Source && d.Gate == d.Drain {
+			return fmt.Errorf("netlist %s: device %s is self-connected (gate, source and drain all on %s)%s",
+				c.Name, d.Name, c.NodeName(d.Gate), locSuffix(d.Loc))
+		}
 		if d.W <= 0 || d.L <= 0 {
-			return fmt.Errorf("netlist %s: device %s has non-positive geometry W=%g L=%g", c.Name, d.Name, d.W, d.L)
+			return fmt.Errorf("netlist %s: device %s has non-positive geometry W=%g L=%g%s", c.Name, d.Name, d.W, d.L, locSuffix(d.Loc))
 		}
 		if d.ExtraL < 0 {
-			return fmt.Errorf("netlist %s: device %s has negative ExtraL %g", c.Name, d.Name, d.ExtraL)
+			return fmt.Errorf("netlist %s: device %s has negative ExtraL %g%s", c.Name, d.Name, d.ExtraL, locSuffix(d.Loc))
 		}
 	}
 	for _, r := range c.Resistors {
 		if !inRange(r.A) || !inRange(r.B) {
-			return fmt.Errorf("netlist %s: resistor %s has out-of-range terminal", c.Name, r.Name)
+			return fmt.Errorf("netlist %s: resistor %s has out-of-range terminal%s", c.Name, r.Name, locSuffix(r.Loc))
 		}
 		if r.Ohms <= 0 {
-			return fmt.Errorf("netlist %s: resistor %s has non-positive resistance %g", c.Name, r.Name, r.Ohms)
+			return fmt.Errorf("netlist %s: resistor %s has non-positive resistance %g%s", c.Name, r.Name, r.Ohms, locSuffix(r.Loc))
+		}
+	}
+	for _, inst := range c.Instances {
+		for _, id := range inst.Conns {
+			if !inRange(id) {
+				return fmt.Errorf("netlist %s: instance %s has out-of-range connection %d%s", c.Name, inst.Name, id, locSuffix(inst.Loc))
+			}
 		}
 	}
 	for _, p := range c.Ports {

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,6 +42,24 @@ func (e *ParseError) Error() string {
 // Continuation lines start with "+". Comments start with "*" or ";"
 // (except the *attr form). Names are case-preserved except supplies.
 func Parse(r io.Reader) (*Library, *Circuit, error) {
+	return ParseNamed(r, "")
+}
+
+// ParseFile parses a deck from disk. Elements record the path and line
+// they came from, so downstream diagnostics (lint, Validate) can point
+// back into the deck.
+func ParseFile(path string) (*Library, *Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ParseNamed(f, path)
+}
+
+// ParseNamed is Parse with a source name recorded on every element's Loc
+// (pass "" for an anonymous deck; line numbers are still recorded).
+func ParseNamed(r io.Reader, srcName string) (*Library, *Circuit, error) {
 	lib := NewLibrary()
 	top := New("top")
 	cur := top
@@ -69,6 +88,7 @@ func Parse(r io.Reader) (*Library, *Circuit, error) {
 	inSub := false
 	for i, raw := range lines {
 		no := lineNos[i]
+		loc := Loc{File: srcName, Line: no}
 		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
@@ -95,6 +115,7 @@ func Parse(r io.Reader) (*Library, *Circuit, error) {
 				return nil, nil, &ParseError{no, ".subckt needs a name"}
 			}
 			cur = New(fields[1])
+			cur.Loc = loc
 			for _, p := range fields[2:] {
 				cur.DeclarePort(p)
 			}
@@ -111,7 +132,7 @@ func Parse(r io.Reader) (*Library, *Circuit, error) {
 		case strings.HasPrefix(lower, "."):
 			return nil, nil, &ParseError{no, fmt.Sprintf("unsupported card %q", fields[0])}
 		default:
-			if err := parseElement(cur, fields); err != nil {
+			if err := parseElement(cur, fields, loc); err != nil {
 				return nil, nil, &ParseError{no, err.Error()}
 			}
 		}
@@ -137,11 +158,11 @@ func parseAttr(c *Circuit, rest string) error {
 }
 
 // parseElement dispatches one element card to its handler.
-func parseElement(c *Circuit, fields []string) error {
+func parseElement(c *Circuit, fields []string, loc Loc) error {
 	name := fields[0]
 	switch strings.ToLower(name[:1]) {
 	case "m":
-		return parseMOS(c, fields)
+		return parseMOS(c, fields, loc)
 	case "c":
 		if len(fields) != 4 {
 			return fmt.Errorf("capacitor %s: want C name a b value", name)
@@ -174,21 +195,21 @@ func parseElement(c *Circuit, fields []string) error {
 		if err != nil {
 			return fmt.Errorf("resistor %s: %v", name, err)
 		}
-		c.AddResistor(name, fields[1], fields[2], v)
+		c.AddResistor(name, fields[1], fields[2], v).Loc = loc
 		return nil
 	case "x":
 		if len(fields) < 3 {
 			return fmt.Errorf("instance %s: want X name node... cell", name)
 		}
 		cell := fields[len(fields)-1]
-		c.AddInstance(name, cell, fields[1:len(fields)-1]...)
+		c.AddInstance(name, cell, fields[1:len(fields)-1]...).Loc = loc
 		return nil
 	}
 	return fmt.Errorf("unknown element %q", name)
 }
 
 // parseMOS handles "Mname d g s b type params".
-func parseMOS(c *Circuit, fields []string) error {
+func parseMOS(c *Circuit, fields []string, loc Loc) error {
 	if len(fields) < 6 {
 		return fmt.Errorf("device %s: want M name d g s b model params", fields[0])
 	}
@@ -203,6 +224,7 @@ func parseMOS(c *Circuit, fields []string) error {
 		return fmt.Errorf("device %s: unknown model %q", fields[0], fields[5])
 	}
 	d := c.AddDevice(fields[0], dt, fields[2], fields[3], fields[1], fields[4], 0, 0)
+	d.Loc = loc
 	for _, kv := range fields[6:] {
 		k, v, ok := strings.Cut(strings.ToLower(kv), "=")
 		if !ok {
