@@ -10,8 +10,12 @@ package repro
 
 import (
 	"testing"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/designs"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/process"
 )
 
@@ -211,4 +215,61 @@ func BenchmarkS6PessimismTradeoff(b *testing.B) {
 	}
 	b.ReportMetric(falseHits, "false-violations@max-pessimism")
 	b.ReportMetric(races, "races-caught")
+}
+
+// BenchmarkFingerprint measures the structural-hash throughput the
+// fleet cache keys on (SRAMArray(64,32) ≈ a few thousand devices).
+func BenchmarkFingerprint(b *testing.B) {
+	c := designs.SRAMArray(64, 32, 0)
+	b.ReportMetric(float64(len(c.Devices)), "devices")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Fingerprint()
+	}
+}
+
+// BenchmarkFleetCorpus measures full-corpus CBV verification through
+// the fleet driver: cold-cache designs/sec at -j 1 and -j 8 (speedup-x
+// is bounded by GOMAXPROCS), plus the warm-cache hit rate of a second
+// pass over an already-verified design.
+func BenchmarkFleetCorpus(b *testing.B) {
+	corpus := func() []fleet.Item {
+		return []fleet.Item{
+			{Name: "invchain", Circuit: designs.InverterChain(12)},
+			{Name: "adder16", Circuit: designs.DominoAdder(16)},
+			{Name: "pipeline", Circuit: designs.LatchPipeline(6, false)},
+			{Name: "sram16x8", Circuit: designs.SRAMArray(16, 8, 0.09)},
+			{Name: "passmux8", Circuit: designs.PassMux(8)},
+		}
+	}
+	opts := func(j int) fleet.Options {
+		return fleet.Options{
+			Core:    core.Options{Proc: process.CMOS075()},
+			Workers: j,
+			Cache:   fleet.NewCache(),
+		}
+	}
+	var rate1, rate8, hitPct float64
+	for i := 0; i < b.N; i++ {
+		items := corpus()
+		t1 := time.Now()
+		rep := fleet.Verify(items, opts(1))
+		rate1 = float64(len(items)) / time.Since(t1).Seconds()
+		if rep.HasViolations() {
+			b.Fatal("corpus failed to verify")
+		}
+		t8 := time.Now()
+		fleet.Verify(items, opts(8))
+		rate8 = float64(len(items)) / time.Since(t8).Seconds()
+
+		sram := []fleet.Item{{Name: "sram64x32", Circuit: designs.SRAMArray(64, 32, 0)}}
+		warm := opts(1)
+		fleet.Verify(sram, warm)
+		second := fleet.Verify(sram, warm)
+		hitPct = 100 * float64(second.Hits) / float64(second.Hits+second.Misses)
+	}
+	b.ReportMetric(rate1, "designs/sec-j1")
+	b.ReportMetric(rate8, "designs/sec-j8")
+	b.ReportMetric(rate8/rate1, "speedup-x")
+	b.ReportMetric(hitPct, "cache-hit-%")
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/fleet"
+	"repro/internal/process"
+	"repro/internal/rtl"
+)
+
+// BenchMetrics is the JSON shape of `fcv bench -out BENCH_fleet.json`:
+// the repo's headline performance numbers in machine-readable form, so
+// CI can archive them per commit.
+type BenchMetrics struct {
+	// GOMAXPROCS records the parallelism the numbers were taken at —
+	// the fleet speedup is bounded by it.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// RTLCyclesPerSec is the switch/RTL simulation throughput of the S1
+	// pipeline workload (the paper's 200 cycles/sec yardstick).
+	RTLCyclesPerSec float64 `json:"rtl_cycles_per_sec"`
+	// FleetDesignsPerSecJ1 and JN are cold-cache corpus verification
+	// rates at 1 worker and at GOMAXPROCS workers.
+	FleetDesignsPerSecJ1 float64 `json:"fleet_designs_per_sec_j1"`
+	FleetDesignsPerSecJN float64 `json:"fleet_designs_per_sec_jn"`
+	// FleetSpeedup is JN/J1.
+	FleetSpeedup float64 `json:"fleet_speedup"`
+	// CacheHitPct is the cache hit percentage of a second pass over an
+	// already-verified design (the memoization headline; 100 when every
+	// lookup hits).
+	CacheHitPct float64 `json:"cache_hit_pct"`
+}
+
+// benchZoo is the corpus the fleet numbers are measured over (the S5
+// design zoo).
+func benchZoo() []fleet.Item {
+	return []fleet.Item{
+		{Name: "invchain", Circuit: designs.InverterChain(12)},
+		{Name: "adder16", Circuit: designs.DominoAdder(16)},
+		{Name: "pipeline", Circuit: designs.LatchPipeline(6, false)},
+		{Name: "sram16x8", Circuit: designs.SRAMArray(16, 8, 0.09)},
+		{Name: "passmux8", Circuit: designs.PassMux(8)},
+	}
+}
+
+// runBench measures the headline metrics in-process and writes them as
+// JSON:
+//
+//	fcv bench [-out BENCH_fleet.json] [-cycles N]
+func runBench(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	outPath := fs.String("out", "BENCH_fleet.json", "metrics JSON output path (\"-\" for stdout)")
+	cycles := fs.Int("cycles", 20000, "RTL cycles to time")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m := BenchMetrics{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	// RTL simulation throughput (the S1 workload, shortened).
+	prog, err := rtl.ParseString(designs.PipelineRTL())
+	if err != nil {
+		return err
+	}
+	sim, err := rtl.NewSim(prog)
+	if err != nil {
+		return err
+	}
+	img := make([]uint64, 64)
+	for i := range img {
+		img[i] = uint64(i*2557) & 0xffff
+	}
+	if err := sim.LoadMem("imem", img); err != nil {
+		return err
+	}
+	if err := sim.Set("run", 1); err != nil {
+		return err
+	}
+	sim.Run(*cycles / 10) // warm-up
+	start := time.Now()
+	sim.Run(*cycles)
+	m.RTLCyclesPerSec = float64(*cycles) / time.Since(start).Seconds()
+
+	// Cold-cache fleet rates at -j 1 and -j GOMAXPROCS.
+	opts := func(j int) fleet.Options {
+		return fleet.Options{
+			Core:    core.Options{Proc: process.CMOS075()},
+			Workers: j,
+			Cache:   fleet.NewCache(),
+		}
+	}
+	items := benchZoo()
+	t1 := time.Now()
+	fleet.Verify(items, opts(1))
+	m.FleetDesignsPerSecJ1 = float64(len(items)) / time.Since(t1).Seconds()
+	tn := time.Now()
+	fleet.Verify(items, opts(m.GOMAXPROCS))
+	m.FleetDesignsPerSecJN = float64(len(items)) / time.Since(tn).Seconds()
+	if m.FleetDesignsPerSecJ1 > 0 {
+		m.FleetSpeedup = m.FleetDesignsPerSecJN / m.FleetDesignsPerSecJ1
+	}
+
+	// Warm-cache hit rate: verify a large SRAM once, then re-verify.
+	sram := []fleet.Item{{Name: "sram64x32", Circuit: designs.SRAMArray(64, 32, 0)}}
+	warm := opts(1)
+	fleet.Verify(sram, warm)
+	second := fleet.Verify(sram, warm)
+	if second.Hits+second.Misses > 0 {
+		m.CacheHitPct = 100 * float64(second.Hits) / float64(second.Hits+second.Misses)
+	}
+
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *outPath == "-" {
+		_, err = out.Write(b)
+		return err
+	}
+	if err := os.WriteFile(*outPath, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench: rtl=%.0f cycles/sec, fleet j1=%.1f jN=%.1f designs/sec (%.2fx), cache hit=%.0f%% -> %s\n",
+		m.RTLCyclesPerSec, m.FleetDesignsPerSecJ1, m.FleetDesignsPerSecJN, m.FleetSpeedup, m.CacheHitPct, *outPath)
+	return nil
+}

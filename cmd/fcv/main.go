@@ -2,7 +2,7 @@
 // face of the CBV methodology. It reads a SPICE-subset transistor deck,
 // flattens it, and runs the requested tool:
 //
-//	fcv verify  <deck.sp> [top]   # recognition + §4.2 battery + timing (CBV)
+//	fcv verify  <deck.sp>... [top] # recognition + §4.2 battery + timing (CBV)
 //	fcv lint    <deck.sp> [top]   # static netlist analysis (FCV001…) over every cell
 //	fcv recog   <deck.sp> [top]   # recognition only
 //	fcv checks  <deck.sp> [top]   # §4.2 electrical battery
@@ -11,6 +11,16 @@
 //	fcv cbc     <deck.sp> [top]   # the correct-by-construction gatekeeper
 //	fcv sim     <f.fcl> N [in=v]  # run an FCL RTL model for N cycles
 //	fcv power                     # Table 1 power walk + generations table
+//	fcv bench                     # measure throughput metrics -> BENCH_fleet.json
+//
+// verify is the fleet driver: it accepts several decks (and, with
+// -cells, every cell of each deck as its own corpus member), verifies
+// them on -j parallel workers with a structural-fingerprint result
+// cache, and exits 0 when everything passes or needs inspection only,
+// 1 when any design is in violation or errors, 2 on operational
+// failure:
+//
+//	fcv verify [-j N] [-cells] [-cache] [-quiet] <deck.sp>... [top]
 //
 // Flags:
 //
@@ -35,6 +45,7 @@ import (
 
 	"repro/internal/checks"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/layout"
 	"repro/internal/lint"
 	"repro/internal/netlist"
@@ -47,8 +58,12 @@ import (
 
 // errLintFindings marks the "deck has unwaived error findings" outcome,
 // so main can give it the conventional lint exit code (1) while other
-// failures exit 2.
-var errLintFindings = errors.New("lint findings")
+// failures exit 2. errVerifyFindings is the same contract for verify:
+// any corpus member in violation (or erroring) exits 1.
+var (
+	errLintFindings   = errors.New("lint findings")
+	errVerifyFindings = errors.New("verification findings")
+)
 
 var (
 	procName = flag.String("process", "cmos075", "process model: cmos075, cmos050, cmos035lp")
@@ -57,7 +72,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|lint|recog|checks|timing|layout|cbc|sim|power> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|lint|recog|checks|timing|layout|cbc|sim|power|bench> [args]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,11 +82,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(args[0], args[1:]); err != nil {
-		if errors.Is(err, errLintFindings) {
-			fmt.Fprintf(os.Stderr, "fcv: %v\n", err)
+		fmt.Fprintf(os.Stderr, "fcv: %v\n", err)
+		if errors.Is(err, errLintFindings) || errors.Is(err, errVerifyFindings) {
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "fcv: %v\n", err)
 		os.Exit(2)
 	}
 }
@@ -144,6 +158,12 @@ func run(cmd string, args []string) error {
 
 	case "lint":
 		return runLint(args, os.Stdout)
+
+	case "verify":
+		return runVerify(args, proc, period, os.Stdout)
+
+	case "bench":
+		return runBench(args, os.Stdout)
 	}
 
 	// Netlist-based subcommands.
@@ -225,15 +245,95 @@ func run(cmd string, args []string) error {
 		}
 		return nil
 
-	case "verify":
-		rep, err := core.Verify(flat, core.Options{Proc: proc, Clock: timing.TwoPhase(period)})
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// runVerify is the fleet-backed verify subcommand:
+//
+//	fcv verify [-j N] [-cells] [-cache] [-quiet] <deck.sp>... [top]
+//
+// With one deck it verifies the inferred (or named) top, exactly the old
+// single-design behaviour. With -cells it treats every cell of every
+// deck as a corpus member; with several decks each becomes one item.
+// Exit codes: 0 all designs pass or need inspection only, 1 any design
+// in violation or erroring, 2 operational failure (bad flags, unreadable
+// deck).
+func runVerify(args []string, proc *process.Process, period float64, out *os.File) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	workers := fs.Int("j", 0, "parallel verification workers (0 = GOMAXPROCS)")
+	cells := fs.Bool("cells", false, "verify every cell of each deck, not just the top")
+	useCache := fs.Bool("cache", true, "memoize results under structural fingerprints")
+	quiet := fs.Bool("quiet", false, "suppress per-design timing breakdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 1 {
+		return fmt.Errorf("verify needs a SPICE deck")
+	}
+	// A trailing argument that is not a readable file names the top cell
+	// (single-deck back-compat: `fcv verify deck.sp mytop`).
+	decks, top := rest, ""
+	if len(rest) >= 2 {
+		if _, err := os.Stat(rest[len(rest)-1]); err != nil {
+			top = rest[len(rest)-1]
+			decks = rest[:len(rest)-1]
+		}
+	}
+	if top != "" && (len(decks) > 1 || *cells) {
+		return fmt.Errorf("verify: a top cell name applies to a single deck without -cells")
+	}
+	var items []fleet.Item
+	for _, deck := range decks {
+		if *cells {
+			lib, soup, err := netlist.ParseFile(deck)
+			if err != nil {
+				return err
+			}
+			if len(soup.Devices) > 0 || len(soup.Instances) > 0 || len(soup.Resistors) > 0 {
+				lib.Add(soup)
+			}
+			cellItems, errs := fleet.CorpusFromLibrary(lib)
+			for _, e := range errs {
+				return e
+			}
+			for _, it := range cellItems {
+				items = append(items, fleet.Item{Name: deck + ":" + it.Name, Circuit: it.Circuit})
+			}
+			continue
+		}
+		largs := []string{deck}
+		if top != "" {
+			largs = append(largs, top)
+		}
+		flat, err := loadFlat(largs)
 		if err != nil {
 			return err
 		}
-		fmt.Print(rep.Summary())
-		return nil
+		name := flat.Name
+		if len(decks) > 1 {
+			name = deck + ":" + name
+		}
+		items = append(items, fleet.Item{Name: name, Circuit: flat})
 	}
-	return fmt.Errorf("unknown subcommand %q", cmd)
+	opt := fleet.Options{
+		Core:    core.Options{Proc: proc, Clock: timing.TwoPhase(period)},
+		Workers: *workers,
+	}
+	if *useCache {
+		opt.Cache = fleet.NewCache()
+	}
+	rep := fleet.Verify(items, opt)
+	fmt.Fprint(out, rep.Text())
+	if !*quiet {
+		fmt.Fprint(out, rep.TimingText())
+	}
+	if rep.HasViolations() {
+		_, _, violation, failed := rep.Counts()
+		return fmt.Errorf("%w: %d violation(s), %d error(s)", errVerifyFindings, violation, failed)
+	}
+	return nil
 }
 
 // runLint is the lint subcommand: parse the deck, lint every cell in

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -93,5 +94,51 @@ func TestRunSim(t *testing.T) {
 	}
 	if err := run("sim", []string{path}); err == nil {
 		t.Error("missing cycle count accepted")
+	}
+}
+
+func TestRunVerifyFleetModes(t *testing.T) {
+	deck := writeDeck(t, invDeck)
+	// Flags + multiple decks + per-cell corpus.
+	if err := run("verify", []string{"-j", "2", deck}); err != nil {
+		t.Errorf("verify -j 2: %v", err)
+	}
+	if err := run("verify", []string{"-cells", "-quiet", deck}); err != nil {
+		t.Errorf("verify -cells: %v", err)
+	}
+	if err := run("verify", []string{"-cache=false", deck, deck}); err != nil {
+		t.Errorf("verify two decks: %v", err)
+	}
+	// Named top still works as the trailing positional.
+	namedDeck := writeDeck(t, ".subckt cell a y\nmn y a vss vss nmos w=2 l=0.75\nmp y a vdd vdd pmos w=4 l=0.75\n.ends\n")
+	if err := run("verify", []string{namedDeck, "cell"}); err != nil {
+		t.Errorf("verify named top: %v", err)
+	}
+	if err := run("verify", []string{"-cells", namedDeck, "cell"}); err == nil {
+		t.Error("top name with -cells accepted")
+	}
+}
+
+func TestRunBenchWritesMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench subcommand times real workloads")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	if err := run("bench", []string{"-out", out, "-cycles", "2000"}); err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m BenchMetrics
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if m.RTLCyclesPerSec <= 0 || m.FleetDesignsPerSecJ1 <= 0 {
+		t.Errorf("non-positive throughput metrics: %+v", m)
+	}
+	if m.CacheHitPct < 90 {
+		t.Errorf("second-pass cache hit = %.0f%%, want >= 90", m.CacheHitPct)
 	}
 }

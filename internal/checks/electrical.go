@@ -71,7 +71,7 @@ func checkBetaRatio(rec *recognize.Result, opt *Options) []Finding {
 // node to the rail, in µA/V-ish drive units (Idsat-based), 0 if none.
 func bestPathCond(rec *recognize.Result, g *recognize.Group, from, to netlist.NodeID, p *process.Process) float64 {
 	best := 0.0
-	for _, path := range channelPaths(rec.Circuit, g, from, to) {
+	for _, path := range rec.ChannelPaths(g, from, to) {
 		r := 0.0
 		for _, d := range path {
 			r += p.Reff(d.Type, d.Vt, d.W, d.Leff(), process.Typical)
@@ -83,54 +83,6 @@ func bestPathCond(rec *recognize.Result, g *recognize.Group, from, to netlist.No
 		}
 	}
 	return best * 1e6 // 1/Ω → µS for readable magnitudes
-}
-
-// channelPaths enumerates simple device paths between two nodes inside a
-// group (shared with the timing verifier's algorithm).
-func channelPaths(c *netlist.Circuit, g *recognize.Group, from, to netlist.NodeID) [][]*netlist.Device {
-	if to == netlist.InvalidNode {
-		return nil
-	}
-	var paths [][]*netlist.Device
-	visited := map[netlist.NodeID]bool{from: true}
-	used := make(map[*netlist.Device]bool)
-	var cur []*netlist.Device
-	var walk func(at netlist.NodeID)
-	walk = func(at netlist.NodeID) {
-		if len(paths) > 256 {
-			return
-		}
-		for _, d := range g.Devices {
-			if used[d] {
-				continue
-			}
-			var next netlist.NodeID
-			switch at {
-			case d.Source:
-				next = d.Drain
-			case d.Drain:
-				next = d.Source
-			default:
-				continue
-			}
-			if next == to {
-				paths = append(paths, append(append([]*netlist.Device(nil), cur...), d))
-				continue
-			}
-			if c.IsSupply(next) || visited[next] {
-				continue
-			}
-			visited[next] = true
-			used[d] = true
-			cur = append(cur, d)
-			walk(next)
-			cur = cur[:len(cur)-1]
-			used[d] = false
-			visited[next] = false
-		}
-	}
-	walk(from)
-	return paths
 }
 
 // checkEdgeRate — "Edge rate and delay analysis for clocks and signals."
@@ -268,7 +220,7 @@ func checkWritability(rec *recognize.Result, opt *Options) []Finding {
 		for _, gi := range l.Groups {
 			g := rec.Groups[gi]
 			for _, rail := range []netlist.NodeID{c.FindNode(netlist.VddName), c.FindNode(netlist.VssName)} {
-				for _, path := range channelPaths(c, g, stateNode, rail) {
+				for _, path := range rec.ChannelPaths(g, stateNode, rail) {
 					clocked := false
 					r := 0.0
 					for _, d := range path {

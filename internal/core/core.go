@@ -55,6 +55,18 @@ type Options struct {
 	LintOptions lint.Options
 }
 
+// ResolvedClock returns the clock spec Verify will actually analyze
+// with: the configured one, or the process-default two-phase clock when
+// the zero value was left in place. Cache keys and reports must use
+// this, not Options.Clock, or two runs differing only in whether the
+// default was spelled out would disagree.
+func (o *Options) ResolvedClock() timing.ClockSpec {
+	if o.Clock.PeriodPS == 0 && o.Proc != nil {
+		return timing.TwoPhase(1e6 / o.Proc.ClockFreqMHz)
+	}
+	return o.Clock
+}
+
 // LintGateError is returned by Verify when the opt-in lint gate finds
 // error-severity structural defects. It carries the full report so
 // callers can render or waive the findings.
@@ -82,6 +94,11 @@ type Report struct {
 	Checks *checks.Report
 	// Timing is the race/critical-path analysis.
 	Timing *timing.Report
+	// Clock is the clock spec the analysis actually used — the resolved
+	// default when Options.Clock was left zero. Callers keying caches on
+	// verification configuration must read this, not their own copy of
+	// the options (see Options.ResolvedClock).
+	Clock timing.ClockSpec
 	// Verdict is the overall classification: the worst of all findings
 	// plus timing violations.
 	Verdict checks.Verdict
@@ -100,9 +117,7 @@ func Verify(c *netlist.Circuit, opt Options) (*Report, error) {
 	if opt.Proc == nil {
 		return nil, fmt.Errorf("core: missing process model")
 	}
-	if opt.Clock.PeriodPS == 0 {
-		opt.Clock = timing.TwoPhase(1e6 / opt.Proc.ClockFreqMHz)
-	}
+	opt.Clock = opt.ResolvedClock()
 	rec, err := recognize.Analyze(c)
 	if err != nil {
 		return nil, err
@@ -136,6 +151,7 @@ func Verify(c *netlist.Circuit, opt Options) (*Report, error) {
 		Recognition: rec,
 		Checks:      chk,
 		Timing:      tim,
+		Clock:       opt.Clock,
 		Verdict:     checks.Pass,
 		Lint:        lintRep,
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/process"
 	"repro/internal/recognize"
+	"repro/internal/timing"
 )
 
 func opts() Options {
@@ -182,5 +183,37 @@ func TestCompareMethodologies(t *testing.T) {
 	}
 	if !cmp2.CBCAccepts {
 		t.Error("CBC rejected plain inverters")
+	}
+}
+
+func TestReportCarriesResolvedClock(t *testing.T) {
+	// Defaulted clock: the report must expose the spec actually used,
+	// not the zero value the caller passed (cache keys depend on it).
+	opt := opts()
+	rep, err := Verify(designs.InverterChain(4), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := timing.TwoPhase(1e6 / opt.Proc.ClockFreqMHz)
+	if rep.Clock.PeriodPS != want.PeriodPS || len(rep.Clock.Phases) != len(want.Phases) {
+		t.Errorf("defaulted Report.Clock = %+v, want %+v", rep.Clock, want)
+	}
+	if got := opt.ResolvedClock(); got.PeriodPS != want.PeriodPS {
+		t.Errorf("ResolvedClock() period = %v, want %v", got.PeriodPS, want.PeriodPS)
+	}
+
+	// Explicit clock: passed through untouched, and the caller's Options
+	// copy is not mutated either way.
+	opt2 := opts()
+	opt2.Clock = timing.SinglePhase(1234)
+	rep2, err := Verify(designs.InverterChain(4), opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Clock.PeriodPS != 1234 {
+		t.Errorf("explicit Report.Clock period = %v, want 1234", rep2.Clock.PeriodPS)
+	}
+	if opt2.Clock.PeriodPS != 1234 {
+		t.Errorf("caller's Options mutated: %+v", opt2.Clock)
 	}
 }

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Cache memoizes core.Verify outcomes keyed on structural fingerprint
+// plus configuration key. It is safe for concurrent use and uses
+// singleflight admission: when several workers race on the same key,
+// exactly one runs the verification and the rest block on its entry —
+// so hit/miss counts are deterministic for a given corpus (every
+// distinct key misses exactly once, ever), not scheduling-dependent.
+//
+// Invalidation is by key construction, not eviction: a change to the
+// circuit's structure, sizing or models moves the fingerprint, and a
+// change to the process model, clock, couplings or lint configuration
+// moves the config key. Stale entries are simply never looked up again;
+// the cache is unbounded and meant to live for a process or a
+// benchmark, not a daemon.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+type cacheKey struct {
+	fp  netlist.Fingerprint
+	cfg string
+}
+
+type cacheEntry struct {
+	once sync.Once
+	rep  *core.Report
+	err  error
+}
+
+// NewCache returns an empty verification cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Len returns the number of distinct (fingerprint, config) entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// verify returns the memoized outcome for the circuit, running
+// core.Verify under the entry's once on first sight of the key. fresh
+// is true for the single caller whose lookup created the entry — the
+// run's miss; every other caller (including concurrent ones that block
+// on the once) is a hit.
+func (c *Cache) verify(fp netlist.Fingerprint, cfg string, circuit *netlist.Circuit, opt core.Options) (rep *core.Report, err error, fresh bool) {
+	key := cacheKey{fp: fp, cfg: cfg}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		fresh = true
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.rep, e.err = core.Verify(circuit, opt)
+	})
+	return e.rep, e.err, fresh
+}

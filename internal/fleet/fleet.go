@@ -1,0 +1,285 @@
+// Package fleet is the full-corpus verification driver: it pushes many
+// designs through the CBV pipeline (core.Verify) in parallel and merges
+// the per-design outcomes into one deterministic report.
+//
+// The paper's methodology is chip-scale — §2's CBV flow verifies every
+// structure of a microprocessor, not one cell at a time — so the
+// reproduction needs a driver that treats "all cells of the design" as
+// the unit of work. Two properties carry the weight:
+//
+//   - Determinism: the merged report is byte-identical regardless of
+//     worker count or scheduling, the same contract the lint driver
+//     established. Results are collected per-item and rendered in input
+//     order; wall-clock numbers are reported separately from the stable
+//     text.
+//
+//   - Memoization: verification outcomes are cached under the circuit's
+//     structural fingerprint (netlist.Fingerprint — invariant under node
+//     renaming and device order) plus a configuration key, so repeated
+//     cells, re-runs, and rename-only edits hit the cache instead of
+//     re-verifying.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/checks"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Item is one unit of fleet work: a named flat circuit.
+type Item struct {
+	// Name labels the item in the merged report (usually the cell or
+	// deck name; distinct from the circuit's own name so two decks
+	// defining the same cell stay distinguishable).
+	Name string
+	// Circuit is the flat design to verify.
+	Circuit *netlist.Circuit
+}
+
+// Options configures a fleet run.
+type Options struct {
+	// Core is the per-design verification configuration.
+	Core core.Options
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, memoizes verification results across items
+	// and runs keyed on structural fingerprint + configuration. Items
+	// with identical structure verify once.
+	Cache *Cache
+}
+
+// Result is the outcome for one item.
+type Result struct {
+	// Name is the item's label.
+	Name string
+	// Fingerprint is the circuit's structural hash (zero if the report
+	// errored before fingerprinting, which cannot currently happen).
+	Fingerprint netlist.Fingerprint
+	// Cached reports the result came from the cache rather than a fresh
+	// core.Verify run.
+	Cached bool
+	// Report is the CBV outcome (nil when Err is set).
+	Report *core.Report
+	// Err is the per-item failure (recognition error, lint gate, …);
+	// one failing item does not abort the fleet.
+	Err error
+	// Elapsed is the wall-clock cost of obtaining this result (near
+	// zero for cache hits). Timing is excluded from the deterministic
+	// report text.
+	Elapsed time.Duration
+}
+
+// Report is the merged outcome of a fleet run.
+type Report struct {
+	// Results are per-item outcomes in input order.
+	Results []Result
+	// Hits and Misses count cache outcomes for this run (both zero when
+	// no cache was configured).
+	Hits, Misses int
+	// Workers is the resolved parallelism.
+	Workers int
+	// Elapsed is the whole run's wall clock.
+	Elapsed time.Duration
+}
+
+// Verify runs the CBV pipeline over every item with a bounded worker
+// pool. The returned report's Results preserve input order, and its
+// Text() is byte-identical for a given corpus and configuration no
+// matter the worker count — caching and scheduling only change timing
+// fields, never outcomes.
+func Verify(items []Item, opt Options) *Report {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rep := &Report{
+		Results: make([]Result, len(items)),
+		Workers: workers,
+	}
+	start := time.Now()
+	cfg := configKey(&opt.Core)
+	var hits, misses int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				it := items[i]
+				res := Result{Name: it.Name}
+				t0 := time.Now()
+				res.Fingerprint = it.Circuit.Fingerprint()
+				if opt.Cache != nil {
+					var fresh bool
+					res.Report, res.Err, fresh = opt.Cache.verify(res.Fingerprint, cfg, it.Circuit, opt.Core)
+					res.Cached = !fresh
+					mu.Lock()
+					if fresh {
+						misses++
+					} else {
+						hits++
+					}
+					mu.Unlock()
+				} else {
+					res.Report, res.Err = core.Verify(it.Circuit, opt.Core)
+				}
+				res.Elapsed = time.Since(t0)
+				rep.Results[i] = res
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	rep.Hits, rep.Misses = int(hits), int(misses)
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// CorpusFromLibrary builds one item per library cell (flattened), in
+// sorted cell-name order. Cells that fail to flatten become items with
+// a pre-set error via a zero-device placeholder — the fleet reports
+// them rather than silently dropping corpus members.
+func CorpusFromLibrary(lib *netlist.Library) ([]Item, []error) {
+	var items []Item
+	var errs []error
+	for _, name := range lib.Cells() {
+		flat, err := lib.Flatten(name)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("fleet: cell %s: %w", name, err))
+			continue
+		}
+		items = append(items, Item{Name: name, Circuit: flat})
+	}
+	return items, errs
+}
+
+// Counts tallies the corpus verdicts: designs passing outright,
+// needing inspection, in violation, and erroring.
+func (r *Report) Counts() (pass, inspect, violation, failed int) {
+	for _, res := range r.Results {
+		switch {
+		case res.Err != nil:
+			failed++
+		case res.Report.Verdict == checks.Pass:
+			pass++
+		case res.Report.Verdict == checks.Inspect:
+			inspect++
+		default:
+			violation++
+		}
+	}
+	return
+}
+
+// HasViolations reports whether any item ended in violation or error —
+// the fleet-level exit-code condition.
+func (r *Report) HasViolations() bool {
+	for _, res := range r.Results {
+		if res.Err != nil || res.Report.Verdict == checks.Violation {
+			return true
+		}
+	}
+	return false
+}
+
+// Text renders the deterministic merged report: one row per item in
+// input order plus the corpus rollup. Wall-clock timing and cache
+// traffic are deliberately excluded — they vary run to run, and the
+// text is contractually byte-identical across runs and worker counts
+// (the fleet tests assert it). Use TimingText for the volatile half.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	sb.WriteString("fleet verification report\n")
+	for _, res := range r.Results {
+		if res.Err != nil {
+			fmt.Fprintf(&sb, "  %-20s %s  ERROR: %v\n", res.Name, res.Fingerprint.Short(), res.Err)
+			continue
+		}
+		rep := res.Report
+		fmt.Fprintf(&sb, "  %-20s %s  %-9s inspect=%-3d races=%-2d min-period=%.0fps\n",
+			res.Name, res.Fingerprint.Short(), rep.Verdict, rep.InspectLoad,
+			len(rep.Timing.Races), rep.Timing.MinPeriodPS)
+	}
+	pass, inspect, violation, failed := r.Counts()
+	fmt.Fprintf(&sb, "corpus: %d designs — pass=%d inspect=%d violation=%d error=%d\n",
+		len(r.Results), pass, inspect, violation, failed)
+	return sb.String()
+}
+
+// TimingText renders the run-variable half: per-design wall clock,
+// cache traffic and parallelism.
+func (r *Report) TimingText() string {
+	var sb strings.Builder
+	for _, res := range r.Results {
+		src := "verified"
+		if res.Cached {
+			src = "cached"
+		}
+		fmt.Fprintf(&sb, "  %-20s %8.2fms  %s\n", res.Name, float64(res.Elapsed.Microseconds())/1000, src)
+	}
+	fmt.Fprintf(&sb, "fleet: %d workers, %.2fms wall, cache hits=%d misses=%d\n",
+		r.Workers, float64(r.Elapsed.Microseconds())/1000, r.Hits, r.Misses)
+	return sb.String()
+}
+
+// configKey serializes every Options field that can change a
+// verification outcome into a stable string. Two runs with equal keys
+// and equal fingerprints must produce interchangeable reports — this is
+// what makes the cache sound across Options values. Map-typed fields
+// are serialized in sorted order; the clock is the *resolved* spec so
+// an explicit default and an implicit one share cache entries.
+func configKey(o *core.Options) string {
+	var sb strings.Builder
+	if o.Proc != nil {
+		fmt.Fprintf(&sb, "proc=%+v", *o.Proc)
+	}
+	ck := o.ResolvedClock()
+	fmt.Fprintf(&sb, "|clock=%g", ck.PeriodPS)
+	for _, name := range ck.PhaseNames() {
+		ph := ck.Phases[name]
+		fmt.Fprintf(&sb, ",%s[%g,%g]", name, ph.OpenPS, ph.ClosePS)
+	}
+	fmt.Fprintf(&sb, "|pess=%g|couplings=", o.CouplingPessimism)
+	for _, c := range o.Couplings {
+		fmt.Fprintf(&sb, "%s<%s:%g;", c.Victim, c.Aggressor, c.CapFF)
+	}
+	sb.WriteString("|antenna=")
+	antNets := make([]string, 0, len(o.AntennaRatios))
+	for net := range o.AntennaRatios {
+		antNets = append(antNets, net)
+	}
+	sort.Strings(antNets)
+	for _, net := range antNets {
+		fmt.Fprintf(&sb, "%s:%g;", net, o.AntennaRatios[net])
+	}
+	fmt.Fprintf(&sb, "|lint=%v", o.Lint)
+	if o.Lint {
+		lo := o.LintOptions
+		sb.WriteString(",rules=")
+		for _, r := range lo.Rules {
+			sb.WriteString(r.ID())
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, ",fanout=%d,wl=[%g,%g],geom=[%g,%g],waivers=%s",
+			lo.FanoutLimit, lo.MinWL, lo.MaxWL, lo.MaxWUm, lo.MaxLUm, lo.Waivers.KeyString())
+	}
+	return sb.String()
+}

@@ -1,0 +1,175 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/process"
+)
+
+// buildInvChain builds a 3-stage inverter chain with controllable node
+// names, device names and insertion order.
+func buildInvChain(nodeName func(string) string, devName func(string) string, reverse bool) *Circuit {
+	c := New("chain")
+	type stage struct{ in, out string }
+	stages := []stage{
+		{"a", "n1"}, {"n1", "n2"}, {"n2", "y"},
+	}
+	if reverse {
+		for i, j := 0, len(stages)-1; i < j; i, j = i+1, j-1 {
+			stages[i], stages[j] = stages[j], stages[i]
+		}
+	}
+	c.DeclarePort(nodeName("a"))
+	c.DeclarePort(nodeName("y"))
+	for i, st := range stages {
+		in, out := nodeName(st.in), nodeName(st.out)
+		// PMOS before NMOS in reversed builds, to vary device order too.
+		if reverse {
+			c.PMOS(devName("mp"+itoa(i)), in, "vdd", out, 2.0, 0.25)
+			c.NMOS(devName("mn"+itoa(i)), in, "vss", out, 1.0, 0.25)
+		} else {
+			c.NMOS(devName("mn"+itoa(i)), in, "vss", out, 1.0, 0.25)
+			c.PMOS(devName("mp"+itoa(i)), in, "vdd", out, 2.0, 0.25)
+		}
+	}
+	return c
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestFingerprintInvariantUnderRenamesAndReorder(t *testing.T) {
+	base := buildInvChain(
+		func(n string) string { return n },
+		func(d string) string { return d }, false)
+	renamed := buildInvChain(
+		func(n string) string { return "net_" + n },
+		func(d string) string { return "x_" + d }, false)
+	reordered := buildInvChain(
+		func(n string) string { return n },
+		func(d string) string { return d }, true)
+
+	fp := base.Fingerprint()
+	if got := renamed.Fingerprint(); got != fp {
+		t.Errorf("renaming nodes/devices changed fingerprint:\n  %s\n  %s", fp, got)
+	}
+	if got := reordered.Fingerprint(); got != fp {
+		t.Errorf("reordering devices changed fingerprint:\n  %s\n  %s", fp, got)
+	}
+	// Determinism across repeated computation.
+	if got := base.Fingerprint(); got != fp {
+		t.Errorf("fingerprint not deterministic: %s vs %s", fp, got)
+	}
+}
+
+func TestFingerprintSensitiveToSizingAndModel(t *testing.T) {
+	mk := func() *Circuit {
+		return buildInvChain(
+			func(n string) string { return n },
+			func(d string) string { return d }, false)
+	}
+	fp := mk().Fingerprint()
+
+	w := mk()
+	w.Devices[0].W = 1.5
+	if w.Fingerprint() == fp {
+		t.Error("W change did not change fingerprint")
+	}
+	l := mk()
+	l.Devices[0].L = 0.35
+	if l.Fingerprint() == fp {
+		t.Error("L change did not change fingerprint")
+	}
+	el := mk()
+	el.Devices[0].ExtraL = 0.045
+	if el.Fingerprint() == fp {
+		t.Error("ExtraL change did not change fingerprint")
+	}
+	vt := mk()
+	vt.Devices[0].Vt = process.LowVt
+	if vt.Fingerprint() == fp {
+		t.Error("Vt change did not change fingerprint")
+	}
+	ty := mk()
+	ty.Devices[0].Type = process.PMOS
+	if ty.Fingerprint() == fp {
+		t.Error("device type change did not change fingerprint")
+	}
+	conn := mk()
+	conn.Devices[0].Drain = conn.Devices[2].Drain
+	if conn.Fingerprint() == fp {
+		t.Error("connectivity change did not change fingerprint")
+	}
+}
+
+func TestFingerprintSensitiveToNodeProperties(t *testing.T) {
+	mk := func() *Circuit {
+		return buildInvChain(
+			func(n string) string { return n },
+			func(d string) string { return d }, false)
+	}
+	fp := mk().Fingerprint()
+
+	capd := mk()
+	capd.AddCap("n1", 5)
+	if capd.Fingerprint() == fp {
+		t.Error("node capacitance change did not change fingerprint")
+	}
+	port := mk()
+	port.DeclarePort("n1")
+	if port.Fingerprint() == fp {
+		t.Error("port marking did not change fingerprint")
+	}
+	attr := mk()
+	attr.SetAttr(attr.FindNode("n1"), "false_path", "1")
+	if attr.Fingerprint() == fp {
+		t.Error("node attribute did not change fingerprint")
+	}
+}
+
+func TestFingerprintSourceDrainSymmetry(t *testing.T) {
+	mk := func(swap bool) *Circuit {
+		c := New("tg")
+		c.DeclarePort("a")
+		c.DeclarePort("b")
+		if swap {
+			c.NMOS("m1", "en", "b", "a", 1.0, 0.25)
+		} else {
+			c.NMOS("m1", "en", "a", "b", 1.0, 0.25)
+		}
+		return c
+	}
+	if mk(false).Fingerprint() != mk(true).Fingerprint() {
+		t.Error("source/drain swap changed fingerprint (MOS channels are symmetric)")
+	}
+}
+
+func TestFingerprintResistorsAndInstances(t *testing.T) {
+	mk := func(ohms float64, cell string) *Circuit {
+		c := New("top")
+		c.DeclarePort("in")
+		c.AddResistor("r1", "in", "mid", ohms)
+		c.AddInstance("u1", cell, "mid", "out")
+		return c
+	}
+	fp := mk(100, "inv").Fingerprint()
+	if mk(200, "inv").Fingerprint() == fp {
+		t.Error("resistance change did not change fingerprint")
+	}
+	if mk(100, "buf").Fingerprint() == fp {
+		t.Error("instanced cell name change did not change fingerprint")
+	}
+	swapped := New("top")
+	swapped.DeclarePort("in")
+	swapped.AddResistor("rX", "mid", "in", 100) // resistor ends are symmetric
+	swapped.AddInstance("uX", "inv", "mid", "out")
+	if swapped.Fingerprint() != fp {
+		t.Error("resistor end swap or element renaming changed fingerprint")
+	}
+	connSwap := New("top")
+	connSwap.DeclarePort("in")
+	connSwap.AddResistor("r1", "in", "mid", 100)
+	connSwap.AddInstance("u1", "inv", "out", "mid") // positional conns swapped
+	if connSwap.Fingerprint() == fp {
+		t.Error("instance connection order change did not change fingerprint (conns are positional)")
+	}
+}

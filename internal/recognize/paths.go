@@ -1,0 +1,112 @@
+package recognize
+
+import (
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// The checks battery and the timing verifier both need the simple
+// channel paths between a group node and a rail (or another group node):
+// beta-ratio and edge-rate checks take the strongest path, writability
+// takes the keeper paths, the timing verifier bounds drive resistance
+// over all of them. Historically each package re-ran its own DFS per
+// query; the enumeration now lives here, computed once per (group, from,
+// to) and shared — a Result may be consulted concurrently (the fleet
+// driver replays cached recognitions across workers), so the memo is
+// lock-protected and cached path slices must be treated as read-only.
+
+// pathKey identifies one memoized enumeration.
+type pathKey struct {
+	group    int
+	from, to netlist.NodeID
+}
+
+// pathCache is the lazily built, mutex-guarded memo on a Result.
+type pathCache struct {
+	mu   sync.Mutex
+	memo map[pathKey][][]*netlist.Device
+	// adj indexes each group's devices by channel terminal so the DFS
+	// expands only the devices on the frontier node instead of scanning
+	// the whole group per step.
+	adj map[int]map[netlist.NodeID][]*netlist.Device
+}
+
+// maxChannelPaths caps enumeration per query; giant anonymous groups
+// already fall back to coarser analyses beyond it.
+const maxChannelPaths = 256
+
+// ChannelPaths returns the simple (node- and device-disjoint) channel
+// paths from one node to another inside a group, never passing through a
+// supply rail mid-path. Results are memoized on the Result and shared
+// between callers: the returned slices must not be modified. A nil
+// target (netlist.InvalidNode) returns nil.
+func (r *Result) ChannelPaths(g *Group, from, to netlist.NodeID) [][]*netlist.Device {
+	if to == netlist.InvalidNode {
+		return nil
+	}
+	r.paths.mu.Lock()
+	defer r.paths.mu.Unlock()
+	pc := &r.paths
+	if pc.memo == nil {
+		pc.memo = make(map[pathKey][][]*netlist.Device)
+		pc.adj = make(map[int]map[netlist.NodeID][]*netlist.Device)
+	}
+	key := pathKey{g.Index, from, to}
+	if paths, ok := pc.memo[key]; ok {
+		return paths
+	}
+	adj, ok := pc.adj[g.Index]
+	if !ok {
+		adj = make(map[netlist.NodeID][]*netlist.Device)
+		for _, d := range g.Devices {
+			adj[d.Source] = append(adj[d.Source], d)
+			if d.Drain != d.Source {
+				adj[d.Drain] = append(adj[d.Drain], d)
+			}
+		}
+		pc.adj[g.Index] = adj
+	}
+	paths := enumeratePaths(r.Circuit, adj, from, to)
+	pc.memo[key] = paths
+	return paths
+}
+
+// enumeratePaths is the DFS walk shared by all consumers.
+func enumeratePaths(c *netlist.Circuit, adj map[netlist.NodeID][]*netlist.Device, from, to netlist.NodeID) [][]*netlist.Device {
+	var paths [][]*netlist.Device
+	visited := map[netlist.NodeID]bool{from: true}
+	used := make(map[*netlist.Device]bool)
+	var cur []*netlist.Device
+	var walk func(at netlist.NodeID)
+	walk = func(at netlist.NodeID) {
+		if len(paths) > maxChannelPaths {
+			return
+		}
+		for _, d := range adj[at] {
+			if used[d] {
+				continue
+			}
+			next := d.Drain
+			if at == d.Drain {
+				next = d.Source
+			}
+			if next == to {
+				paths = append(paths, append(append([]*netlist.Device(nil), cur...), d))
+				continue
+			}
+			if c.IsSupply(next) || visited[next] {
+				continue
+			}
+			visited[next] = true
+			used[d] = true
+			cur = append(cur, d)
+			walk(next)
+			cur = cur[:len(cur)-1]
+			used[d] = false
+			visited[next] = false
+		}
+	}
+	walk(from)
+	return paths
+}

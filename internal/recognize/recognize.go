@@ -169,6 +169,10 @@ type Result struct {
 	StateNodes []netlist.NodeID
 	// Latches are the recognized state elements.
 	Latches []Latch
+
+	// paths memoizes channel-path enumerations (see ChannelPaths). Its
+	// mutex makes the Result safe for concurrent read-side consumers.
+	paths pathCache
 }
 
 // IsClock reports whether the node was identified as a clock.

@@ -19,9 +19,24 @@ type Sim struct {
 
 	assignFns []compiledAssign
 	clockedBy map[string][]compiledClocked
+	// phaseStmts aligns the clocked statements with design.Phases so
+	// Cycle avoids the map lookup per phase; staged is the reusable
+	// commit buffer (Phase allocated one per call before — two allocs
+	// per cycle on the hot path).
+	phaseStmts [][]compiledClocked
+	staged     []pendingWrite
 
 	cycles   uint64
 	activity *activityState
+}
+
+// pendingWrite stages one clocked update between the evaluate and
+// commit halves of a phase.
+type pendingWrite struct {
+	cc  *compiledClocked
+	idx uint64
+	val uint64
+	en  bool
 }
 
 // camState is the native CAM primitive's storage.
@@ -124,6 +139,15 @@ func NewSimFromDesign(d *Design) (*Sim, error) {
 		}
 		s.clockedBy[cs.Phase] = append(s.clockedBy[cs.Phase], cc)
 	}
+	maxStmts := 0
+	for _, p := range d.Phases {
+		stmts := s.clockedBy[p]
+		s.phaseStmts = append(s.phaseStmts, stmts)
+		if len(stmts) > maxStmts {
+			maxStmts = len(stmts)
+		}
+	}
+	s.staged = make([]pendingWrite, maxStmts)
 	s.settle()
 	return s, nil
 }
@@ -204,15 +228,16 @@ func (s *Sim) settle() {
 // statements against the pre-edge state, commit them simultaneously,
 // then re-settle combinational logic.
 func (s *Sim) Phase(phase string) {
-	stmts := s.clockedBy[phase]
-	type pending struct {
-		cc  *compiledClocked
-		idx uint64
-		val uint64
-		en  bool
+	s.runPhase(s.clockedBy[phase])
+}
+
+// runPhase is the allocation-free phase kernel: staged writes go
+// through the sim's reusable buffer.
+func (s *Sim) runPhase(stmts []compiledClocked) {
+	if len(stmts) > len(s.staged) {
+		s.staged = make([]pendingWrite, len(stmts))
 	}
-	// Small fixed-capacity staging on the stack for common cases.
-	staged := make([]pending, len(stmts))
+	staged := s.staged[:len(stmts)]
 	for i := range stmts {
 		cc := &stmts[i]
 		en := cc.cond == nil || cc.cond(s) != 0
@@ -222,7 +247,7 @@ func (s *Sim) Phase(phase string) {
 				s.activity.enabled++
 			}
 		}
-		p := pending{cc: cc, en: en}
+		p := pendingWrite{cc: cc, en: en}
 		if en {
 			p.val = cc.rhs(s) & cc.mask
 			if cc.idx != nil {
@@ -257,8 +282,8 @@ func (s *Sim) Phase(phase string) {
 // Cycle runs all phases once in sorted order (phi1 before phi2) and
 // counts a completed cycle.
 func (s *Sim) Cycle() {
-	for _, p := range s.design.Phases {
-		s.Phase(p)
+	for _, stmts := range s.phaseStmts {
+		s.runPhase(stmts)
 	}
 	s.cycles++
 	s.recordCycleActivity()

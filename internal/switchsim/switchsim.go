@@ -53,6 +53,15 @@ func Bool(b bool) Value {
 }
 
 // Sim is a switch-level simulation instance over one flat circuit.
+//
+// Settling is organized around the circuit's channel-connected
+// components (CCCs): node values depend only on the values/drives of
+// their own component plus the gate values of its devices, so after an
+// input change only the components in the change's fanout cone are
+// re-evaluated (a dirty-component worklist). Cost scales with the cone,
+// not the circuit size, while producing bit-identical results to the
+// classic full-sweep relaxation (see settleFull and its regression
+// tests).
 type Sim struct {
 	c *netlist.Circuit
 	// value is the current level of every node.
@@ -62,9 +71,41 @@ type Sim struct {
 	// vdd/vss node ids (may be InvalidNode if absent).
 	vdd, vss netlist.NodeID
 	// devsByNode indexes devices by channel terminal for traversal.
+	// Every device on a non-supply node belongs to that node's
+	// component, so component-local walks can use it unfiltered.
 	devsByNode [][]*netlist.Device
 	// steps counts relaxation iterations for reporting.
 	steps int
+
+	// Static partition: comp maps each node to its channel-connected
+	// component (-1 for supply rails, which belong to every component's
+	// boundary and none's interior).
+	comp      []int
+	compNodes [][]netlist.NodeID
+	compDevs  [][]*netlist.Device
+	// gateComps lists, per node, the components containing a device the
+	// node gates — the fanout cone one value change can disturb.
+	gateComps [][]int
+
+	// Dirty-component worklist (deduplicated via the dirty flags).
+	dirty     []bool
+	dirtyList []int
+	wave      []int
+
+	// Scratch buffers reused across component evaluations.
+	defVdd, defVss, mayVdd, mayVss []bool
+	strength                       []float64
+	blocked                        []bool
+	queue                          []netlist.NodeID
+	seedHi, seedLo, seedX          []netlist.NodeID
+	pend                           []pendingVal
+}
+
+// pendingVal stages one node update within a wave so every component is
+// evaluated against the same pre-wave state (Jacobi semantics).
+type pendingVal struct {
+	id netlist.NodeID
+	v  Value
 }
 
 // MaxIterations bounds relaxation; exceeding it marks changed nodes X.
@@ -101,7 +142,108 @@ func New(c *netlist.Circuit) (*Sim, error) {
 			s.devsByNode[d.Drain] = append(s.devsByNode[d.Drain], d)
 		}
 	}
+	s.buildComponents()
+	s.defVdd = make([]bool, len(c.Nodes))
+	s.defVss = make([]bool, len(c.Nodes))
+	s.mayVdd = make([]bool, len(c.Nodes))
+	s.mayVss = make([]bool, len(c.Nodes))
+	s.strength = make([]float64, len(c.Nodes))
+	s.blocked = make([]bool, len(c.Nodes))
+	// Everything starts dirty: the first Settle establishes the initial
+	// fixed point exactly as a full sweep would.
+	for ci := range s.compDevs {
+		s.markComp(ci)
+	}
 	return s, nil
+}
+
+// buildComponents partitions non-supply nodes into channel-connected
+// components (union-find over source/drain edges, cut at the rails) and
+// indexes member devices and gate fanout per component.
+func (s *Sim) buildComponents() {
+	c := s.c
+	parent := make([]int, len(c.Nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, d := range c.Devices {
+		if !c.IsSupply(d.Source) && !c.IsSupply(d.Drain) {
+			union(int(d.Source), int(d.Drain))
+		}
+	}
+	s.comp = make([]int, len(c.Nodes))
+	idOfRoot := make(map[int]int)
+	for i := range c.Nodes {
+		nid := netlist.NodeID(i)
+		if c.IsSupply(nid) {
+			s.comp[i] = -1
+			continue
+		}
+		root := find(i)
+		ci, ok := idOfRoot[root]
+		if !ok {
+			ci = len(s.compNodes)
+			idOfRoot[root] = ci
+			s.compNodes = append(s.compNodes, nil)
+			s.compDevs = append(s.compDevs, nil)
+		}
+		s.comp[i] = ci
+		s.compNodes[ci] = append(s.compNodes[ci], nid)
+	}
+	s.gateComps = make([][]int, len(c.Nodes))
+	for _, d := range c.Devices {
+		t := d.Source
+		if c.IsSupply(t) {
+			t = d.Drain
+		}
+		if c.IsSupply(t) {
+			continue // rail-to-rail device: can never affect a node value
+		}
+		ci := s.comp[t]
+		s.compDevs[ci] = append(s.compDevs[ci], d)
+		found := false
+		for _, gc := range s.gateComps[d.Gate] {
+			if gc == ci {
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.gateComps[d.Gate] = append(s.gateComps[d.Gate], ci)
+		}
+	}
+	s.dirty = make([]bool, len(s.compDevs))
+}
+
+// markComp queues a component for re-evaluation.
+func (s *Sim) markComp(ci int) {
+	if ci >= 0 && !s.dirty[ci] {
+		s.dirty[ci] = true
+		s.dirtyList = append(s.dirtyList, ci)
+	}
+}
+
+// markNode queues everything a change on the node can disturb: its own
+// component (channel effects) and every component it gates.
+func (s *Sim) markNode(id netlist.NodeID) {
+	s.markComp(s.comp[id])
+	for _, ci := range s.gateComps[id] {
+		s.markComp(ci)
+	}
 }
 
 // Circuit returns the simulated circuit.
@@ -116,6 +258,7 @@ func (s *Sim) Set(name string, v Value) int {
 	}
 	s.value[id] = v
 	s.driven[id] = true
+	s.markNode(id)
 	return s.Settle()
 }
 
@@ -127,6 +270,7 @@ func (s *Sim) SetQuiet(name string, v Value) {
 	}
 	s.value[id] = v
 	s.driven[id] = true
+	s.markNode(id)
 }
 
 // Release removes the external drive from a node (it becomes a charged,
@@ -137,6 +281,7 @@ func (s *Sim) Release(name string) int {
 		return 0
 	}
 	s.driven[id] = false
+	s.markNode(id)
 	return s.Settle()
 }
 
@@ -174,19 +319,67 @@ func (s *Sim) conducts(d *netlist.Device) conductance {
 }
 
 // Settle relaxes node values to a fixed point and returns the iteration
-// count. If MaxIterations is exceeded, the still-changing nodes are set
-// to X (oscillation — e.g. an enabled ring) and relaxation re-runs once.
+// count. Only the components marked dirty (by Set/Release and by value
+// changes rippling through gate fanout) are re-evaluated each wave; the
+// results are identical to a full sweep because a clean component is by
+// definition already at its local fixed point. If MaxIterations is
+// exceeded, the still-changing nodes are set to X (oscillation — e.g.
+// an enabled ring).
 func (s *Sim) Settle() int {
 	iters := 0
 	for {
-		changedNodes := s.relaxOnce()
+		wl := s.takeDirty()
+		if len(wl) == 0 {
+			s.steps += iters
+			return iters
+		}
+		changed := s.waveEval(wl)
 		iters++
-		if len(changedNodes) == 0 {
+		if len(changed) == 0 {
+			s.steps += iters
+			return iters
+		}
+		for _, id := range changed {
+			s.markNode(id)
+		}
+		if iters >= MaxIterations {
+			for _, id := range changed {
+				if !s.driven[id] {
+					s.value[id] = X
+					s.markNode(id)
+				}
+			}
+			s.steps += iters
+			return iters
+		}
+	}
+}
+
+// settleFull relaxes with every component evaluated every wave — the
+// classic full-sweep (Jacobi) schedule the worklist replaced. Kept as a
+// schedule-free reference implementation: the regression tests drive a
+// worklist sim and a full-sweep sim through identical stimulus and
+// require identical states. Production code always uses Settle.
+func (s *Sim) settleFull() int {
+	all := make([]int, len(s.compDevs))
+	for i := range all {
+		all[i] = i
+	}
+	// The full schedule subsumes any pending dirty marks.
+	for _, ci := range s.dirtyList {
+		s.dirty[ci] = false
+	}
+	s.dirtyList = s.dirtyList[:0]
+	iters := 0
+	for {
+		changed := s.waveEval(all)
+		iters++
+		if len(changed) == 0 {
 			s.steps += iters
 			return iters
 		}
 		if iters >= MaxIterations {
-			for _, id := range changedNodes {
+			for _, id := range changed {
 				if !s.driven[id] {
 					s.value[id] = X
 				}
@@ -197,26 +390,57 @@ func (s *Sim) Settle() int {
 	}
 }
 
-// relaxOnce recomputes every non-driven node once from the current state
-// and returns the IDs whose value changed.
-func (s *Sim) relaxOnce() []netlist.NodeID {
-	// Drive-source reachability under definite conduction and under
-	// maybe-conduction (definite ∪ maybe). Externally driven nodes are
-	// drive sources just like the rails: a high input propagates
-	// through pass structures exactly as vdd does.
-	var seedHi, seedLo, seedX []netlist.NodeID
-	if s.vdd != netlist.InvalidNode {
-		seedHi = append(seedHi, s.vdd)
+// takeDirty claims the current dirty set as this wave's worklist,
+// sorted for deterministic evaluation order.
+func (s *Sim) takeDirty() []int {
+	wl := append(s.wave[:0], s.dirtyList...)
+	sort.Ints(wl)
+	for _, ci := range s.dirtyList {
+		s.dirty[ci] = false
 	}
-	if s.vss != netlist.InvalidNode {
-		seedLo = append(seedLo, s.vss)
+	s.dirtyList = s.dirtyList[:0]
+	s.wave = wl
+	return wl
+}
+
+// waveEval evaluates the given components against the current state,
+// then applies all staged updates at once (so the wave behaves exactly
+// like one Jacobi sweep restricted to those components) and returns the
+// nodes whose value changed.
+func (s *Sim) waveEval(comps []int) []netlist.NodeID {
+	s.pend = s.pend[:0]
+	for _, ci := range comps {
+		s.evalComp(ci)
 	}
-	for id, dr := range s.driven {
-		nid := netlist.NodeID(id)
-		if !dr || s.c.IsSupply(nid) {
+	var changed []netlist.NodeID
+	for _, p := range s.pend {
+		if s.value[p.id] != p.v {
+			s.value[p.id] = p.v
+			changed = append(changed, p.id)
+		}
+	}
+	return changed
+}
+
+// evalComp recomputes the component's non-driven nodes from the current
+// state and stages the differences. The evaluation is a pure function
+// of the component's member values/drives and the gate values of its
+// devices — the invariant the dirty-marking in markNode relies on.
+func (s *Sim) evalComp(ci int) {
+	nodes := s.compNodes[ci]
+	devs := s.compDevs[ci]
+	if len(devs) == 0 {
+		return // isolated nodes just hold their charge
+	}
+	// Drive-source seeds local to this component. Externally driven
+	// members are drive sources just like the rails: a high input
+	// propagates through pass structures exactly as vdd does.
+	seedHi, seedLo, seedX := s.seedHi[:0], s.seedLo[:0], s.seedX[:0]
+	for _, nid := range nodes {
+		if !s.driven[nid] {
 			continue
 		}
-		switch s.value[id] {
+		switch s.value[nid] {
 		case Hi:
 			seedHi = append(seedHi, nid)
 		case Lo:
@@ -225,64 +449,72 @@ func (s *Sim) relaxOnce() []netlist.NodeID {
 			seedX = append(seedX, nid)
 		}
 	}
-	defVdd := s.reach(seedHi, false)
-	defVss := s.reach(seedLo, false)
-	mayVdd := s.reach(append(append([]netlist.NodeID(nil), seedHi...), seedX...), true)
-	mayVss := s.reach(append(append([]netlist.NodeID(nil), seedLo...), seedX...), true)
+	s.seedHi, s.seedLo, s.seedX = seedHi, seedLo, seedX
 
-	next := make([]Value, len(s.value))
-	copy(next, s.value)
+	// Rail reachability under definite conduction and under
+	// maybe-conduction (definite ∪ maybe), restricted to the component.
+	s.compReach(s.defVdd, devs, s.vdd, seedHi, nil, false)
+	s.compReach(s.defVss, devs, s.vss, seedLo, nil, false)
+	s.compReach(s.mayVdd, devs, s.vdd, seedHi, seedX, true)
+	s.compReach(s.mayVss, devs, s.vss, seedLo, seedX, true)
+
 	var floating []netlist.NodeID
-	for id := range s.value {
-		nid := netlist.NodeID(id)
+	for _, nid := range nodes {
+		id := int(nid)
 		if s.driven[id] {
 			continue
 		}
+		var nv Value
 		switch {
-		case defVdd[id] && defVss[id]:
+		case s.defVdd[id] && s.defVss[id]:
 			// A fight. Ratioed logic (pseudo-NMOS, keepers vs. write
 			// drivers) is *designed* to fight, with the intended winner
 			// sized decisively stronger; resolve by path strength.
-			next[id] = s.resolveFight(nid, seedHi, seedLo)
-		case defVdd[id] && !mayVss[id]:
-			next[id] = Hi
-		case defVss[id] && !mayVdd[id]:
-			next[id] = Lo
-		case defVdd[id] && mayVss[id]:
+			nv = s.resolveFight(ci, nid, seedHi, seedLo)
+		case s.defVdd[id] && !s.mayVss[id]:
+			nv = Hi
+		case s.defVss[id] && !s.mayVdd[id]:
+			nv = Lo
+		case s.defVdd[id] && s.mayVss[id]:
 			// Definitely pulled high, possibly also pulled low. If the
 			// definite high side beats the worst-case (fully
 			// conducting) low side by the sizing ratio, the level is
 			// resolved regardless of the uncertainty — this is what
 			// lets sized structures (DCVSL, keepers) escape X-lock.
-			hi := s.pathStrength(nid, seedHi, false)
-			lo := s.pathStrength(nid, append(append([]netlist.NodeID(nil), seedLo...), seedX...), true)
+			hi := s.compStrength(ci, nid, s.vdd, seedHi, nil, false)
+			lo := s.compStrength(ci, nid, s.vss, seedLo, seedX, true)
 			if hi >= strengthRatio*lo {
-				next[id] = Hi
+				nv = Hi
 			} else {
-				next[id] = X
+				nv = X
 			}
-		case defVss[id] && mayVdd[id]:
-			lo := s.pathStrength(nid, seedLo, false)
-			hi := s.pathStrength(nid, append(append([]netlist.NodeID(nil), seedHi...), seedX...), true)
+		case s.defVss[id] && s.mayVdd[id]:
+			lo := s.compStrength(ci, nid, s.vss, seedLo, nil, false)
+			hi := s.compStrength(ci, nid, s.vdd, seedHi, seedX, true)
 			if lo >= strengthRatio*hi {
-				next[id] = Lo
+				nv = Lo
 			} else {
-				next[id] = X
+				nv = X
 			}
-		case mayVdd[id] || mayVss[id]:
+		case s.mayVdd[id] || s.mayVss[id]:
 			// Some uncertain drive: conservatively unknown, unless the
 			// only uncertainty agrees with one rail and excludes the
-			// other entirely.
+			// other entirely (possibly pulled to the value already
+			// held: keep it).
 			switch {
-			case mayVdd[id] && !mayVss[id] && s.value[id] == Hi:
-				// Possibly pulled to the value it already holds: keep.
-			case mayVss[id] && !mayVdd[id] && s.value[id] == Lo:
-				// Same, low side.
+			case s.mayVdd[id] && !s.mayVss[id] && s.value[id] == Hi:
+				nv = Hi
+			case s.mayVss[id] && !s.mayVdd[id] && s.value[id] == Lo:
+				nv = Lo
 			default:
-				next[id] = X
+				nv = X
 			}
 		default:
 			floating = append(floating, nid)
+			continue
+		}
+		if nv != s.value[id] {
+			s.pend = append(s.pend, pendingVal{nid, nv})
 		}
 	}
 
@@ -291,82 +523,115 @@ func (s *Sim) relaxOnce() []netlist.NodeID {
 	// island holds mixed values, the island goes X; a maybe-conducting
 	// bridge to a different value also degrades to X (Figure 3's charge
 	// share hazard). Capacitance-weighted resolution is the checks
-	// package's refinement; simulation stays conservative.
-	isFloating := make(map[netlist.NodeID]bool, len(floating))
-	for _, id := range floating {
-		isFloating[id] = true
-	}
-	seen := make(map[netlist.NodeID]bool)
-	for _, start := range floating {
-		if seen[start] {
-			continue
+	// package's refinement; simulation stays conservative. Islands
+	// never cross component boundaries (they are channel-connected).
+	if len(floating) > 0 {
+		isFloating := make(map[netlist.NodeID]bool, len(floating))
+		for _, id := range floating {
+			isFloating[id] = true
 		}
-		island := []netlist.NodeID{start}
-		seen[start] = true
-		mixed := false
-		degraded := false
-		v := s.value[start]
-		for i := 0; i < len(island); i++ {
-			at := island[i]
-			for _, d := range s.devsByNode[at] {
-				other := d.Source
-				if other == at {
-					other = d.Drain
-				}
-				switch s.conducts(d) {
-				case on:
-					if isFloating[other] && !seen[other] {
-						seen[other] = true
-						island = append(island, other)
-						if s.value[other] != v {
-							mixed = true
+		seen := make(map[netlist.NodeID]bool)
+		for _, start := range floating {
+			if seen[start] {
+				continue
+			}
+			island := []netlist.NodeID{start}
+			seen[start] = true
+			mixed := false
+			degraded := false
+			v := s.value[start]
+			for i := 0; i < len(island); i++ {
+				at := island[i]
+				for _, d := range s.devsByNode[at] {
+					other := d.Source
+					if other == at {
+						other = d.Drain
+					}
+					switch s.conducts(d) {
+					case on:
+						if isFloating[other] && !seen[other] {
+							seen[other] = true
+							island = append(island, other)
+							if s.value[other] != v {
+								mixed = true
+							}
+						}
+					case maybe:
+						if isFloating[other] && s.value[other] != v {
+							degraded = true
 						}
 					}
-				case maybe:
-					if isFloating[other] && s.value[other] != v {
-						degraded = true
+				}
+			}
+			if mixed || degraded {
+				for _, id := range island {
+					if s.value[id] != X {
+						s.pend = append(s.pend, pendingVal{id, X})
 					}
 				}
 			}
+			// Otherwise the island retains its stored charge.
 		}
-		if mixed || degraded {
-			for _, id := range island {
-				next[id] = X
-			}
-		}
-		// Otherwise the island retains its stored charge (next already
-		// carries the old value).
 	}
 
-	var changed []netlist.NodeID
-	for id := range next {
-		if next[id] != s.value[id] {
-			changed = append(changed, netlist.NodeID(id))
-		}
+	// Reset the reach scratch for the next component (rails are never
+	// marked; only members were).
+	for _, nid := range nodes {
+		s.defVdd[nid] = false
+		s.defVss[nid] = false
+		s.mayVdd[nid] = false
+		s.mayVss[nid] = false
 	}
-	copy(s.value, next)
-	return changed
 }
 
-// reach returns, for every node, whether a conducting path from any seed
-// exists. If includeMaybe, maybe-conducting devices are traversable.
-// Propagation does not continue *through* an externally driven node: the
-// driver pins it, and the driven node is itself a seed of its own value.
-func (s *Sim) reach(seeds []netlist.NodeID, includeMaybe bool) []bool {
-	out := make([]bool, len(s.value))
-	queue := make([]netlist.NodeID, 0, len(seeds))
+// compReach marks (in out) the component members with a conducting path
+// from the rail or any seed. If includeMaybe, maybe-conducting devices
+// are traversable. Propagation does not continue *through* an
+// externally driven node: the driver pins it, and the driven node is
+// itself a seed of its own value. The rail is expanded through the
+// component's own devices so shared-rail fanout costs nothing.
+func (s *Sim) compReach(out []bool, devs []*netlist.Device, rail netlist.NodeID, seeds, extra []netlist.NodeID, includeMaybe bool) {
+	q := s.queue[:0]
 	for _, r := range seeds {
 		if !out[r] {
 			out[r] = true
-			queue = append(queue, r)
+			q = append(q, r)
 		}
 	}
-	for len(queue) > 0 {
-		at := queue[0]
-		queue = queue[1:]
+	for _, r := range extra {
+		if !out[r] {
+			out[r] = true
+			q = append(q, r)
+		}
+	}
+	if rail != netlist.InvalidNode {
+		for _, d := range devs {
+			if d.Source != rail && d.Drain != rail {
+				continue
+			}
+			cd := s.conducts(d)
+			if cd == off || (cd == maybe && !includeMaybe) {
+				continue
+			}
+			other := d.Source
+			if other == rail {
+				other = d.Drain
+			}
+			if out[other] || s.c.IsSupply(other) {
+				continue
+			}
+			out[other] = true
+			if !s.driven[other] {
+				q = append(q, other)
+			}
+		}
+	}
+	for len(q) > 0 {
+		at := q[len(q)-1]
+		q = q[:len(q)-1]
 		for _, d := range s.devsByNode[at] {
-			c := s.conducts(d)
-			if c == off || (c == maybe && !includeMaybe) {
+			cd := s.conducts(d)
+			if cd == off || (cd == maybe && !includeMaybe) {
 				continue
 			}
 			other := d.Source
@@ -377,15 +642,12 @@ func (s *Sim) reach(seeds []netlist.NodeID, includeMaybe bool) []bool {
 				continue
 			}
 			out[other] = true
-			// External drives pin their node; conduction does not
-			// propagate through a driven node onto others (the driver
-			// wins locally in this abstraction).
 			if !s.driven[other] {
-				queue = append(queue, other)
+				q = append(q, other)
 			}
 		}
 	}
-	return out
+	s.queue = q[:0]
 }
 
 // strengthRatio is the sizing margin at which one side of a fight is
@@ -397,9 +659,9 @@ const strengthRatio = 2.0
 // side's strength is the widest-path conductance (max over paths of the
 // minimum device conductance along the path) from the node to that
 // side's seeds through definitely-conducting devices.
-func (s *Sim) resolveFight(id netlist.NodeID, seedHi, seedLo []netlist.NodeID) Value {
-	hi := s.pathStrength(id, seedHi, false)
-	lo := s.pathStrength(id, seedLo, false)
+func (s *Sim) resolveFight(ci int, id netlist.NodeID, seedHi, seedLo []netlist.NodeID) Value {
+	hi := s.compStrength(ci, id, s.vdd, seedHi, nil, false)
+	lo := s.compStrength(ci, id, s.vss, seedLo, nil, false)
 	switch {
 	case lo >= strengthRatio*hi && lo > 0:
 		return Lo
@@ -420,27 +682,45 @@ func conductanceOf(d *netlist.Device) float64 {
 	return g
 }
 
-// pathStrength computes the widest-path strength from id to any seed via
-// conducting devices, by fixpoint relaxation (the graphs are small;
-// simplicity beats a heap here). With includeMaybe, maybe-conducting
-// devices count as fully conducting (a worst-case bound).
-func (s *Sim) pathStrength(id netlist.NodeID, seeds []netlist.NodeID, includeMaybe bool) float64 {
+// compStrength computes the widest-path strength from id to the rail or
+// any seed via conducting devices within one component, by fixpoint
+// relaxation (the graphs are small; simplicity beats a heap here). With
+// includeMaybe, maybe-conducting devices count as fully conducting (a
+// worst-case bound). A channel path cannot leave the component except
+// through a rail, and strength never crosses the opposing (blocked)
+// rail, so the restriction to compDevs is exact.
+func (s *Sim) compStrength(ci int, id, rail netlist.NodeID, seeds, extra []netlist.NodeID, includeMaybe bool) float64 {
 	const inf = 1e18
-	str := make([]float64, len(s.value))
+	str, blocked := s.strength, s.blocked
+	nodes := s.compNodes[ci]
+	devs := s.compDevs[ci]
 	// Strength never propagates *through* a pinned node (a rail or an
 	// externally driven input) unless that node is a seed of this side.
-	blocked := make([]bool, len(s.value))
-	for i := range blocked {
-		nid := netlist.NodeID(i)
-		blocked[i] = s.c.IsSupply(nid) || s.driven[i]
+	for _, nid := range nodes {
+		str[nid] = 0
+		blocked[nid] = s.driven[nid]
+	}
+	for _, r := range []netlist.NodeID{s.vdd, s.vss} {
+		if r != netlist.InvalidNode {
+			str[r] = 0
+			blocked[r] = true
+		}
+	}
+	if rail != netlist.InvalidNode {
+		str[rail] = inf
+		blocked[rail] = false
 	}
 	for _, r := range seeds {
 		str[r] = inf
 		blocked[r] = false
 	}
+	for _, r := range extra {
+		str[r] = inf
+		blocked[r] = false
+	}
 	for changed := true; changed; {
 		changed = false
-		for _, d := range s.c.Devices {
+		for _, d := range devs {
 			c := s.conducts(d)
 			if c == off || (c == maybe && !includeMaybe) {
 				continue

@@ -219,7 +219,7 @@ func (a *analyzer) buildArcs() {
 					continue
 				}
 				rMin, rMax := math.Inf(1), 0.0
-				for _, path := range a.channelPaths(g, ci, out) {
+				for _, path := range a.rec.ChannelPaths(g, ci, out) {
 					fastR, slowR := 0.0, 0.0
 					for _, d := range path {
 						fastR += a.opt.Proc.Reff(d.Type, d.Vt, d.W, d.Leff(), process.Fast)
@@ -281,7 +281,7 @@ func (a *analyzer) driveRes(g *recognize.Group, out netlist.NodeID) (rMin, rMax 
 		if rail == netlist.InvalidNode {
 			continue
 		}
-		for _, path := range a.channelPaths(g, out, rail) {
+		for _, path := range a.rec.ChannelPaths(g, out, rail) {
 			fastR, slowR := 0.0, 0.0
 			for _, d := range path {
 				fastR += p.Reff(d.Type, d.Vt, d.W, d.Leff(), process.Fast)
@@ -300,51 +300,6 @@ func (a *analyzer) driveRes(g *recognize.Group, out netlist.NodeID) (rMin, rMax 
 		return math.Inf(1), math.Inf(1)
 	}
 	return rMin, rMax
-}
-
-// channelPaths enumerates simple device paths from node to rail within a
-// group (bounded by the recognizer's own limits).
-func (a *analyzer) channelPaths(g *recognize.Group, from, to netlist.NodeID) [][]*netlist.Device {
-	var paths [][]*netlist.Device
-	visited := map[netlist.NodeID]bool{from: true}
-	used := make(map[*netlist.Device]bool)
-	var cur []*netlist.Device
-	var walk func(at netlist.NodeID)
-	walk = func(at netlist.NodeID) {
-		if len(paths) > 256 {
-			return // runaway guard; giant groups already fall back
-		}
-		for _, d := range g.Devices {
-			if used[d] {
-				continue
-			}
-			var next netlist.NodeID
-			switch at {
-			case d.Source:
-				next = d.Drain
-			case d.Drain:
-				next = d.Source
-			default:
-				continue
-			}
-			if next == to {
-				paths = append(paths, append(append([]*netlist.Device(nil), cur...), d))
-				continue
-			}
-			if a.c.IsSupply(next) || visited[next] {
-				continue
-			}
-			visited[next] = true
-			used[d] = true
-			cur = append(cur, d)
-			walk(next)
-			cur = cur[:len(cur)-1]
-			used[d] = false
-			visited[next] = false
-		}
-	}
-	walk(from)
-	return paths
 }
 
 // launchBounds returns the arrival bounds and whether the node launches.
