@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/designs"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/process"
 	"repro/internal/rtl"
 )
@@ -52,14 +53,29 @@ func benchZoo() []fleet.Item {
 // runBench measures the headline metrics in-process and writes them as
 // JSON:
 //
-//	fcv bench [-out BENCH_fleet.json] [-cycles N]
+//	fcv bench [-out BENCH_fleet.json] [-cycles N] [-manifest m.json]
+//
+// -manifest additionally writes a run manifest (the same schema as
+// `fcv verify -manifest`) carrying the bench's telemetry: RTL cycle
+// counters and per-phase timings, fleet spans and cache counters, and
+// the headline metrics as gauges.
 func runBench(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	outPath := fs.String("out", "BENCH_fleet.json", "metrics JSON output path (\"-\" for stdout)")
 	cycles := fs.Int("cycles", 20000, "RTL cycles to time")
+	reps := fs.Int("reps", 3, "repetitions per measurement (best rate wins)")
+	manifestPath := fs.String("manifest", "", "write a run-manifest JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *reps < 1 {
+		*reps = 1
+	}
+	var col *obs.Collector
+	if *manifestPath != "" {
+		col = obs.New()
+	}
+	benchStart := time.Now()
 	m := BenchMetrics{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	// RTL simulation throughput (the S1 workload, shortened).
@@ -81,10 +97,21 @@ func runBench(args []string, out *os.File) error {
 	if err := sim.Set("run", 1); err != nil {
 		return err
 	}
+	// Each measurement below is repeated -reps times and the best rate
+	// wins: scheduling noise on a shared host only ever slows a run
+	// down, so the max is the least-biased estimate and keeps the trend
+	// gate from firing on machine load. Telemetry observes the first
+	// rep only, so manifest counters do not scale with -reps.
 	sim.Run(*cycles / 10) // warm-up
-	start := time.Now()
-	sim.Run(*cycles)
-	m.RTLCyclesPerSec = float64(*cycles) / time.Since(start).Seconds()
+	sim.SetObserver(col)
+	for r := 0; r < *reps; r++ {
+		start := time.Now()
+		sim.Run(*cycles)
+		if rate := float64(*cycles) / time.Since(start).Seconds(); rate > m.RTLCyclesPerSec {
+			m.RTLCyclesPerSec = rate
+		}
+		sim.SetObserver(nil)
+	}
 
 	// Cold-cache fleet rates at -j 1 and -j GOMAXPROCS.
 	opts := func(j int) fleet.Options {
@@ -92,15 +119,36 @@ func runBench(args []string, out *os.File) error {
 			Core:    core.Options{Proc: process.CMOS075()},
 			Workers: j,
 			Cache:   fleet.NewCache(),
+			Obs:     col,
 		}
 	}
 	items := benchZoo()
-	t1 := time.Now()
-	fleet.Verify(items, opts(1))
-	m.FleetDesignsPerSecJ1 = float64(len(items)) / time.Since(t1).Seconds()
-	tn := time.Now()
-	fleet.Verify(items, opts(m.GOMAXPROCS))
-	m.FleetDesignsPerSecJN = float64(len(items)) / time.Since(tn).Seconds()
+	var coldRep *fleet.Report
+	for r := 0; r < *reps; r++ {
+		o := opts(1)
+		if r > 0 {
+			o.Obs = nil
+		}
+		t1 := time.Now()
+		rep := fleet.Verify(items, o)
+		if r == 0 {
+			coldRep = rep
+		}
+		if rate := float64(len(items)) / time.Since(t1).Seconds(); rate > m.FleetDesignsPerSecJ1 {
+			m.FleetDesignsPerSecJ1 = rate
+		}
+	}
+	for r := 0; r < *reps; r++ {
+		o := opts(m.GOMAXPROCS)
+		if r > 0 {
+			o.Obs = nil
+		}
+		tn := time.Now()
+		fleet.Verify(items, o)
+		if rate := float64(len(items)) / time.Since(tn).Seconds(); rate > m.FleetDesignsPerSecJN {
+			m.FleetDesignsPerSecJN = rate
+		}
+	}
 	if m.FleetDesignsPerSecJ1 > 0 {
 		m.FleetSpeedup = m.FleetDesignsPerSecJN / m.FleetDesignsPerSecJ1
 	}
@@ -114,6 +162,21 @@ func runBench(args []string, out *os.File) error {
 		m.CacheHitPct = 100 * float64(second.Hits) / float64(second.Hits+second.Misses)
 	}
 
+	if *manifestPath != "" {
+		// The manifest's corpus half comes from the cold -j 1 pass; the
+		// headline metrics ride along as gauges so the trend tooling
+		// can read everything from one artifact.
+		col.SetGauge("bench.rtl_cycles_per_sec", m.RTLCyclesPerSec)
+		col.SetGauge("bench.fleet_designs_per_sec_j1", m.FleetDesignsPerSecJ1)
+		col.SetGauge("bench.fleet_designs_per_sec_jn", m.FleetDesignsPerSecJN)
+		col.SetGauge("bench.cache_hit_pct", m.CacheHitPct)
+		mf := buildManifest("fcv bench", coldRep, col)
+		mf.WallMS = float64(time.Since(benchStart).Microseconds()) / 1000
+		if err := mf.WriteFile(*manifestPath); err != nil {
+			return err
+		}
+	}
+
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -123,7 +186,10 @@ func runBench(args []string, out *os.File) error {
 		_, err = out.Write(b)
 		return err
 	}
-	if err := os.WriteFile(*outPath, b, 0o644); err != nil {
+	// Atomic write: CI uploads this file as an artifact, and an
+	// interrupted run must never leave a truncated JSON for the
+	// uploader (or the trend gate) to read.
+	if err := obs.WriteFileAtomic(*outPath, b); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "bench: rtl=%.0f cycles/sec, fleet j1=%.1f jN=%.1f designs/sec (%.2fx), cache hit=%.0f%% -> %s\n",

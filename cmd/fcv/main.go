@@ -12,6 +12,8 @@
 //	fcv sim     <f.fcl> N [in=v]  # run an FCL RTL model for N cycles
 //	fcv power                     # Table 1 power walk + generations table
 //	fcv bench                     # measure throughput metrics -> BENCH_fleet.json
+//	fcv manifest-check <m.json>   # validate a run manifest against its schema
+//	fcv trend -baseline b.json m.json  # fail on throughput regression past tolerance
 //
 // verify is the fleet driver: it accepts several decks (and, with
 // -cells, every cell of each deck as its own corpus member), verifies
@@ -20,7 +22,13 @@
 // 1 when any design is in violation or errors, 2 on operational
 // failure:
 //
-//	fcv verify [-j N] [-cells] [-cache] [-quiet] <deck.sp>... [top]
+//	fcv verify [-j N] [-cells] [-cache] [-quiet] [-manifest m.json] [-trace] [-pprof-labels] <deck.sp>... [top]
+//
+// -manifest writes the machine-readable run manifest (schema
+// fcv-run-manifest/v1: config key, fingerprints, per-stage durations,
+// counters, verdict tallies); -trace prints the span tree and counters;
+// -pprof-labels tags fleet worker goroutines with fcv_cell/fcv_stage
+// labels so CPU profiles attribute samples to cells and stages.
 //
 // Flags:
 //
@@ -49,6 +57,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/lint"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/process"
 	"repro/internal/recognize"
@@ -58,12 +67,23 @@ import (
 
 // errLintFindings marks the "deck has unwaived error findings" outcome,
 // so main can give it the conventional lint exit code (1) while other
-// failures exit 2. errVerifyFindings is the same contract for verify:
-// any corpus member in violation (or erroring) exits 1.
+// failures exit 2. errVerifyFindings is the same contract for verify
+// (any corpus member in violation or erroring), errManifestInvalid for
+// manifest-check, and errTrendRegression for trend — all exit 1 so CI
+// can gate on them directly.
 var (
-	errLintFindings   = errors.New("lint findings")
-	errVerifyFindings = errors.New("verification findings")
+	errLintFindings    = errors.New("lint findings")
+	errVerifyFindings  = errors.New("verification findings")
+	errManifestInvalid = errors.New("manifest invalid")
+	errTrendRegression = errors.New("throughput regression")
 )
+
+// isFindings classifies the exit-1 family: the tool ran fine and the
+// inputs were judged bad, as opposed to operational failure (exit 2).
+func isFindings(err error) bool {
+	return errors.Is(err, errLintFindings) || errors.Is(err, errVerifyFindings) ||
+		errors.Is(err, errManifestInvalid) || errors.Is(err, errTrendRegression)
+}
 
 var (
 	procName = flag.String("process", "cmos075", "process model: cmos075, cmos050, cmos035lp")
@@ -72,7 +92,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|lint|recog|checks|timing|layout|cbc|sim|power|bench> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|lint|recog|checks|timing|layout|cbc|sim|power|bench|manifest-check|trend> [args]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -83,7 +103,7 @@ func main() {
 	}
 	if err := run(args[0], args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "fcv: %v\n", err)
-		if errors.Is(err, errLintFindings) || errors.Is(err, errVerifyFindings) {
+		if isFindings(err) {
 			os.Exit(1)
 		}
 		os.Exit(2)
@@ -164,6 +184,12 @@ func run(cmd string, args []string) error {
 
 	case "bench":
 		return runBench(args, os.Stdout)
+
+	case "manifest-check":
+		return runManifestCheck(args, os.Stdout)
+
+	case "trend":
+		return runTrend(args, os.Stdout)
 	}
 
 	// Netlist-based subcommands.
@@ -265,6 +291,9 @@ func runVerify(args []string, proc *process.Process, period float64, out *os.Fil
 	cells := fs.Bool("cells", false, "verify every cell of each deck, not just the top")
 	useCache := fs.Bool("cache", true, "memoize results under structural fingerprints")
 	quiet := fs.Bool("quiet", false, "suppress per-design timing breakdown")
+	manifestPath := fs.String("manifest", "", "write a run-manifest JSON (schema "+obs.SchemaID+") to this path")
+	trace := fs.Bool("trace", false, "print the span tree and counters after the report")
+	pprofLabels := fs.Bool("pprof-labels", false, "tag worker goroutines with fcv_cell/fcv_stage pprof labels")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -318,16 +347,31 @@ func runVerify(args []string, proc *process.Process, period float64, out *os.Fil
 		items = append(items, fleet.Item{Name: name, Circuit: flat})
 	}
 	opt := fleet.Options{
-		Core:    core.Options{Proc: proc, Clock: timing.TwoPhase(period)},
-		Workers: *workers,
+		Core:        core.Options{Proc: proc, Clock: timing.TwoPhase(period)},
+		Workers:     *workers,
+		PprofLabels: *pprofLabels,
 	}
 	if *useCache {
 		opt.Cache = fleet.NewCache()
+	}
+	var col *obs.Collector
+	if *manifestPath != "" || *trace {
+		col = obs.New()
+		opt.Obs = col
 	}
 	rep := fleet.Verify(items, opt)
 	fmt.Fprint(out, rep.Text())
 	if !*quiet {
 		fmt.Fprint(out, rep.TimingText())
+	}
+	if *trace {
+		fmt.Fprint(out, col.Tree())
+		fmt.Fprint(out, col.CountersText())
+	}
+	if *manifestPath != "" {
+		if err := buildManifest("fcv verify", rep, col).WriteFile(*manifestPath); err != nil {
+			return err
+		}
 	}
 	if rep.HasViolations() {
 		_, _, violation, failed := rep.Counts()

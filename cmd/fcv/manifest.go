@@ -1,0 +1,78 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// buildManifest assembles the run manifest from a fleet report and its
+// telemetry collector: the collector contributes the span tree,
+// counters and gauges; the report contributes the corpus half (items,
+// verdict tallies, workers, wall clock, config key).
+func buildManifest(tool string, rep *fleet.Report, col *obs.Collector) *obs.Manifest {
+	m := obs.NewManifest(tool, rep.ConfigKey, col)
+	m.Workers = rep.Workers
+	m.WallMS = float64(rep.Elapsed.Microseconds()) / 1000
+	for _, res := range rep.Results {
+		verdict := "error"
+		if res.Err == nil {
+			verdict = res.Report.Verdict.String()
+		}
+		m.Items = append(m.Items, obs.ManifestItem{
+			Name:        res.Name,
+			Fingerprint: res.Fingerprint.String(),
+			Verdict:     verdict,
+			Cached:      res.Cached,
+			ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1000,
+		})
+	}
+	p, i, v, f := rep.Counts()
+	m.Verdicts = obs.VerdictTally{Pass: p, Inspect: i, Violation: v, Error: f}
+	return m
+}
+
+// runManifestCheck is the manifest-check subcommand: validate a run
+// manifest against the fcv-run-manifest/v1 schema.
+//
+//	fcv manifest-check <manifest.json>
+//	fcv manifest-check -print-schema
+//
+// Exit codes: 0 valid, 1 schema violation, 2 operational failure
+// (unreadable file). -print-schema writes the JSON Schema document to
+// stdout and exits 0 — the same bytes pinned by the golden-file test.
+func runManifestCheck(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("manifest-check", flag.ContinueOnError)
+	printSchema := fs.Bool("print-schema", false, "print the manifest JSON Schema and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *printSchema {
+		_, err := out.Write(obs.SchemaJSON())
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 1 {
+		return fmt.Errorf("manifest-check needs a manifest JSON file (or -print-schema)")
+	}
+	var failed int
+	for _, path := range rest {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := obs.ValidateManifest(data); err != nil {
+			fmt.Fprintf(out, "manifest-check: %s: INVALID: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(out, "manifest-check: %s: ok (schema %s)\n", path, obs.SchemaID)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%w: %d of %d file(s) failed validation", errManifestInvalid, failed, len(rest))
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// trendMetric names one BenchMetrics field the trend gate watches.
+// All watched metrics are higher-is-better throughputs; only drops
+// beyond the tolerance fail the gate (improvements always pass — they
+// become the next baseline).
+type trendMetric struct {
+	name string
+	get  func(*BenchMetrics) float64
+}
+
+var trendMetrics = []trendMetric{
+	{"rtl_cycles_per_sec", func(m *BenchMetrics) float64 { return m.RTLCyclesPerSec }},
+	{"fleet_designs_per_sec_j1", func(m *BenchMetrics) float64 { return m.FleetDesignsPerSecJ1 }},
+	{"fleet_designs_per_sec_jn", func(m *BenchMetrics) float64 { return m.FleetDesignsPerSecJN }},
+}
+
+// runTrend is the bench-trend gate: compare the current BENCH_fleet
+// metrics against a baseline and fail (exit 1) when any throughput
+// metric regressed past the tolerance.
+//
+//	fcv trend [-baseline BENCH_baseline.json] [-tolerance 30] <BENCH_fleet.json>
+//
+// A missing baseline file is reported but passes (first run of a new
+// pipeline has nothing to compare against); a present-but-unreadable
+// baseline is an operational failure (exit 2).
+func runTrend(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("trend", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "baseline metrics JSON")
+	tolPct := fs.Float64("tolerance", 30, "allowed throughput regression in percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 1 {
+		return fmt.Errorf("trend needs exactly one current metrics file")
+	}
+	cur, err := readBenchMetrics(rest[0])
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(*baselinePath); os.IsNotExist(err) {
+		fmt.Fprintf(out, "trend: no baseline at %s — nothing to compare, passing\n", *baselinePath)
+		return nil
+	}
+	base, err := readBenchMetrics(*baselinePath)
+	if err != nil {
+		return err
+	}
+	tol := *tolPct / 100
+	var regressions int
+	fmt.Fprintf(out, "trend: %s vs baseline %s (tolerance ±%.0f%%)\n", rest[0], *baselinePath, *tolPct)
+	for _, tm := range trendMetrics {
+		b, c := tm.get(base), tm.get(cur)
+		if b <= 0 {
+			fmt.Fprintf(out, "  %-26s baseline empty, skipped\n", tm.name)
+			continue
+		}
+		delta := (c - b) / b * 100
+		status := "ok"
+		if c < b*(1-tol) {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(out, "  %-26s %12.1f -> %12.1f  %+7.1f%%  %s\n", tm.name, b, c, delta, status)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%w: %d metric(s) dropped more than %.0f%% below baseline", errTrendRegression, regressions, *tolPct)
+	}
+	return nil
+}
+
+// readBenchMetrics loads a BENCH_fleet.json-shaped file.
+func readBenchMetrics(path string) (*BenchMetrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m BenchMetrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}

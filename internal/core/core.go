@@ -21,13 +21,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
 	"repro/internal/checks"
 	"repro/internal/lint"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/process"
 	"repro/internal/recognize"
 	"repro/internal/timing"
@@ -53,6 +56,29 @@ type Options struct {
 	Lint bool
 	// LintOptions configures the gate (waivers, fanout ceiling, …).
 	LintOptions lint.Options
+	// Trace, when non-nil, is the parent span under which Verify opens
+	// one child span per pipeline stage (recognize, lint, checks,
+	// timing) and bumps counters on the owning collector. Telemetry
+	// never changes a verification outcome, so it is deliberately
+	// excluded from cache configuration keys.
+	Trace *obs.Span
+	// PprofLabels tags the running goroutine with an fcv_stage pprof
+	// label for the duration of each stage, so CPU profiles attribute
+	// samples to pipeline stages.
+	PprofLabels bool
+}
+
+// stage runs one pipeline stage under its span (and, when enabled, its
+// pprof label). The span and label cost nothing when telemetry is off:
+// a nil Trace yields nil children whose End is a no-op.
+func (o *Options) stage(name string, fn func()) {
+	sp := o.Trace.Child(name)
+	if o.PprofLabels {
+		pprof.Do(context.Background(), pprof.Labels("fcv_stage", name), func(context.Context) { fn() })
+	} else {
+		fn()
+	}
+	sp.End()
 }
 
 // ResolvedClock returns the clock spec Verify will actually analyze
@@ -118,30 +144,43 @@ func Verify(c *netlist.Circuit, opt Options) (*Report, error) {
 		return nil, fmt.Errorf("core: missing process model")
 	}
 	opt.Clock = opt.ResolvedClock()
-	rec, err := recognize.Analyze(c)
+	opt.Trace.Collector().Add("core.verify_runs", 1)
+	var rec *recognize.Result
+	var err error
+	opt.stage("recognize", func() {
+		rec, err = recognize.Analyze(c)
+	})
 	if err != nil {
 		return nil, err
 	}
 	var lintRep *lint.Report
 	if opt.Lint {
-		lintRep = lint.RunRecognized(rec, opt.LintOptions)
+		opt.stage("lint", func() {
+			lintRep = lint.RunRecognized(rec, opt.LintOptions)
+		})
 		if lintRep.HasErrors() {
 			return nil, &LintGateError{Design: c.Name, Report: lintRep}
 		}
 	}
-	chk, err := checks.RunAll(rec, checks.Options{
-		Proc:          opt.Proc,
-		PeriodPS:      opt.Clock.PeriodPS,
-		Couplings:     opt.Couplings,
-		AntennaRatios: opt.AntennaRatios,
+	var chk *checks.Report
+	opt.stage("checks", func() {
+		chk, err = checks.RunAll(rec, checks.Options{
+			Proc:          opt.Proc,
+			PeriodPS:      opt.Clock.PeriodPS,
+			Couplings:     opt.Couplings,
+			AntennaRatios: opt.AntennaRatios,
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
-	tim, err := timing.Analyze(rec, timing.Options{
-		Proc:              opt.Proc,
-		Clock:             opt.Clock,
-		CouplingPessimism: opt.CouplingPessimism,
+	var tim *timing.Report
+	opt.stage("timing", func() {
+		tim, err = timing.Analyze(rec, timing.Options{
+			Proc:              opt.Proc,
+			Clock:             opt.Clock,
+			CouplingPessimism: opt.CouplingPessimism,
+		})
 	})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/netlist"
@@ -30,10 +31,19 @@ type cacheKey struct {
 	cfg string
 }
 
+// cacheEntry carries the creating caller's circuit and options into the
+// once body, so the verification — and its telemetry spans — always
+// attribute to the item whose lookup created the entry (the run's
+// deterministic miss), even when a concurrent hit wins the race to
+// execute the once. done flips after the once completes, letting later
+// callers distinguish a settled hit from blocking on an in-flight run.
 type cacheEntry struct {
-	once sync.Once
-	rep  *core.Report
-	err  error
+	once    sync.Once
+	done    atomic.Bool
+	circuit *netlist.Circuit
+	opt     core.Options
+	rep     *core.Report
+	err     error
 }
 
 // NewCache returns an empty verification cache.
@@ -51,20 +61,23 @@ func (c *Cache) Len() int {
 // verify returns the memoized outcome for the circuit, running
 // core.Verify under the entry's once on first sight of the key. fresh
 // is true for the single caller whose lookup created the entry — the
-// run's miss; every other caller (including concurrent ones that block
-// on the once) is a hit.
-func (c *Cache) verify(fp netlist.Fingerprint, cfg string, circuit *netlist.Circuit, opt core.Options) (rep *core.Report, err error, fresh bool) {
+// run's miss; every other caller is a hit. inflight is true for hits
+// that arrived before the verification finished and had to block on it.
+func (c *Cache) verify(fp netlist.Fingerprint, cfg string, circuit *netlist.Circuit, opt core.Options) (rep *core.Report, err error, fresh, inflight bool) {
 	key := cacheKey{fp: fp, cfg: cfg}
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
-		e = &cacheEntry{}
+		e = &cacheEntry{circuit: circuit, opt: opt}
 		c.entries[key] = e
 		fresh = true
 	}
 	c.mu.Unlock()
+	inflight = !fresh && !e.done.Load()
 	e.once.Do(func() {
-		e.rep, e.err = core.Verify(circuit, opt)
+		e.rep, e.err = core.Verify(e.circuit, e.opt)
+		e.circuit, e.opt = nil, core.Options{} // release the inputs
+		e.done.Store(true)
 	})
-	return e.rep, e.err, fresh
+	return e.rep, e.err, fresh, inflight
 }

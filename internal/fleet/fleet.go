@@ -21,16 +21,20 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checks"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Item is one unit of fleet work: a named flat circuit.
@@ -53,6 +57,17 @@ type Options struct {
 	// and runs keyed on structural fingerprint + configuration. Items
 	// with identical structure verify once.
 	Cache *Cache
+	// Obs, when non-nil, collects run telemetry: a "fleet" root span
+	// with one child span per item (stage sub-spans under each from
+	// core.Verify), deterministic cache counters, and volatile gauges
+	// for queue wait, worker utilization and inflight cache blocking.
+	// Nil costs nothing on the hot path.
+	Obs *obs.Collector
+	// PprofLabels tags each worker goroutine with the item's name
+	// (fcv_cell) while it verifies, and stage names (fcv_stage) inside
+	// core.Verify, so CPU profiles attribute samples to cells and
+	// pipeline stages.
+	PprofLabels bool
 }
 
 // Result is the outcome for one item.
@@ -87,6 +102,10 @@ type Report struct {
 	Workers int
 	// Elapsed is the whole run's wall clock.
 	Elapsed time.Duration
+	// ConfigKey is the verification configuration's cache key — the
+	// stable identity a run manifest records so trend tooling only
+	// compares like against like.
+	ConfigKey string
 }
 
 // Verify runs the CBV pipeline over every item with a bounded worker
@@ -111,8 +130,18 @@ func Verify(items []Item, opt Options) *Report {
 	}
 	start := time.Now()
 	cfg := configKey(&opt.Core)
-	var hits, misses int64
-	var mu sync.Mutex
+	rep.ConfigKey = cfg
+	// Per-item spans are pre-created in input order under the run's
+	// root span so the trace tree is deterministic no matter which
+	// worker picks an item up; Restart at pickup re-bases the span's
+	// clock and yields the item's queue wait. All nil (and free) when
+	// telemetry is off.
+	root := opt.Obs.Start("fleet")
+	spans := make([]*obs.Span, len(items))
+	for i := range items {
+		spans[i] = root.Child(items[i].Name)
+	}
+	var hits, misses, inflight, busyNS int64
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -121,24 +150,42 @@ func Verify(items []Item, opt Options) *Report {
 			defer wg.Done()
 			for i := range next {
 				it := items[i]
+				sp := spans[i]
+				wait := sp.Restart()
 				res := Result{Name: it.Name}
 				t0 := time.Now()
-				res.Fingerprint = it.Circuit.Fingerprint()
-				if opt.Cache != nil {
-					var fresh bool
-					res.Report, res.Err, fresh = opt.Cache.verify(res.Fingerprint, cfg, it.Circuit, opt.Core)
-					res.Cached = !fresh
-					mu.Lock()
-					if fresh {
-						misses++
+				copt := opt.Core
+				copt.Trace = sp
+				copt.PprofLabels = opt.PprofLabels
+				work := func() {
+					res.Fingerprint = it.Circuit.Fingerprint()
+					if opt.Cache != nil {
+						var fresh, blocked bool
+						res.Report, res.Err, fresh, blocked = opt.Cache.verify(res.Fingerprint, cfg, it.Circuit, copt)
+						res.Cached = !fresh
+						if fresh {
+							atomic.AddInt64(&misses, 1)
+						} else {
+							atomic.AddInt64(&hits, 1)
+						}
+						if blocked {
+							atomic.AddInt64(&inflight, 1)
+						}
 					} else {
-						hits++
+						res.Report, res.Err = core.Verify(it.Circuit, copt)
 					}
-					mu.Unlock()
+				}
+				if opt.PprofLabels {
+					pprof.Do(context.Background(), pprof.Labels("fcv_cell", it.Name), func(context.Context) { work() })
 				} else {
-					res.Report, res.Err = core.Verify(it.Circuit, opt.Core)
+					work()
 				}
 				res.Elapsed = time.Since(t0)
+				sp.End()
+				if opt.Obs != nil {
+					atomic.AddInt64(&busyNS, int64(res.Elapsed))
+					opt.Obs.AddGauge("fleet.queue_wait_ms", float64(wait.Microseconds())/1000)
+				}
 				rep.Results[i] = res
 			}
 		}()
@@ -150,6 +197,21 @@ func Verify(items []Item, opt Options) *Report {
 	wg.Wait()
 	rep.Hits, rep.Misses = int(hits), int(misses)
 	rep.Elapsed = time.Since(start)
+	root.End()
+	if opt.Obs != nil {
+		// Counters are the deterministic half (hit/miss counts are
+		// fixed by singleflight admission for a given corpus); gauges
+		// carry the scheduling-dependent quantities.
+		opt.Obs.Add("fleet.items", int64(len(items)))
+		opt.Obs.Add("fleet.cache.hits", int64(hits))
+		opt.Obs.Add("fleet.cache.misses", int64(misses))
+		opt.Obs.SetGauge("fleet.cache.inflight", float64(inflight))
+		opt.Obs.SetGauge("fleet.workers", float64(workers))
+		if rep.Elapsed > 0 {
+			opt.Obs.SetGauge("fleet.worker_utilization",
+				float64(busyNS)/(float64(rep.Elapsed.Nanoseconds())*float64(workers)))
+		}
+	}
 	return rep
 }
 

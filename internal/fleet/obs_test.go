@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// traceShape extracts the deterministic half of a run's telemetry: the
+// span paths in order, and all counters.
+func traceShape(col *obs.Collector) ([]string, map[string]int64) {
+	var paths []string
+	for _, s := range col.Spans() {
+		paths = append(paths, s.Path)
+	}
+	return paths, col.Counters()
+}
+
+// TestObsDeterministicUnderConcurrency is the telemetry determinism
+// contract: span paths (structure and order) and all counters are
+// identical across runs and worker counts — only durations and gauges
+// may vary. The corpus includes a structural twin so cache hits are in
+// play, and under -race this also exercises concurrent span creation
+// and counter updates.
+func TestObsDeterministicUnderConcurrency(t *testing.T) {
+	run := func(workers int) ([]string, map[string]int64, *Report) {
+		col := obs.New()
+		items := zoo()
+		// A structural twin of item 0: always one hit, attributed spans
+		// stay with the entry-creating miss.
+		items = append(items, Item{Name: "invchain_twin", Circuit: items[0].Circuit})
+		rep := Verify(items, Options{
+			Core:    coreOpts(),
+			Workers: workers,
+			Cache:   NewCache(),
+			Obs:     col,
+		})
+		paths, counters := traceShape(col)
+		return paths, counters, rep
+	}
+	wantPaths, wantCounters, wantRep := run(1)
+	if len(wantPaths) == 0 {
+		t.Fatal("no spans collected")
+	}
+	for _, workers := range []int{1, 4, 16} {
+		for rep := 0; rep < 3; rep++ {
+			paths, counters, frep := run(workers)
+			if len(paths) != len(wantPaths) {
+				t.Fatalf("j=%d: %d spans, want %d\n%v", workers, len(paths), len(wantPaths), paths)
+			}
+			for i := range paths {
+				if paths[i] != wantPaths[i] {
+					t.Errorf("j=%d: span %d = %q, want %q", workers, i, paths[i], wantPaths[i])
+				}
+			}
+			if len(counters) != len(wantCounters) {
+				t.Errorf("j=%d: counters %v, want %v", workers, counters, wantCounters)
+			}
+			for k, v := range wantCounters {
+				if counters[k] != v {
+					t.Errorf("j=%d: counter %s = %d, want %d", workers, k, counters[k], v)
+				}
+			}
+			// Counters must agree with the report's printed totals.
+			if counters["fleet.cache.hits"] != int64(frep.Hits) {
+				t.Errorf("j=%d: counter hits %d != report hits %d", workers, counters["fleet.cache.hits"], frep.Hits)
+			}
+			if counters["fleet.cache.misses"] != int64(frep.Misses) {
+				t.Errorf("j=%d: counter misses %d != report misses %d", workers, counters["fleet.cache.misses"], frep.Misses)
+			}
+			if frep.Text() != wantRep.Text() {
+				t.Errorf("j=%d: report text diverged", workers)
+			}
+		}
+	}
+	// The twin corpus has exactly one hit per run.
+	if wantRep.Hits != 1 || wantRep.Misses != len(zoo()) {
+		t.Errorf("twin corpus: hits=%d misses=%d, want 1/%d", wantRep.Hits, wantRep.Misses, len(zoo()))
+	}
+}
+
+// TestObsStageSpansAttributeToMiss pins the cache-attribution rule:
+// pipeline stage spans appear under the item whose lookup created the
+// cache entry (the deterministic miss), never under a hit, and cached
+// items carry no stage children.
+func TestObsStageSpansAttributeToMiss(t *testing.T) {
+	col := obs.New()
+	items := zoo()[:1]
+	items = append(items, Item{Name: "twin", Circuit: items[0].Circuit})
+	Verify(items, Options{Core: coreOpts(), Workers: 2, Cache: NewCache(), Obs: col})
+	var missStages, hitStages int
+	for _, s := range col.Spans() {
+		if s.Depth != 2 {
+			continue
+		}
+		switch {
+		case s.Path == "fleet/invchain/recognize" || s.Path == "fleet/invchain/checks" || s.Path == "fleet/invchain/timing":
+			missStages++
+		default:
+			hitStages++
+		}
+	}
+	if missStages != 3 {
+		t.Errorf("miss item has %d stage spans, want 3", missStages)
+	}
+	if hitStages != 0 {
+		t.Errorf("hit item has %d stage spans, want 0", hitStages)
+	}
+}
+
+// TestObsOffByDefault: a fleet run without a collector must not panic
+// and must report no telemetry side effects (the nil path).
+func TestObsOffByDefault(t *testing.T) {
+	rep := Verify(zoo(), Options{Core: coreOpts(), Workers: 4, Cache: NewCache()})
+	if rep.HasViolations() {
+		t.Fatal("zoo failed")
+	}
+	if rep.ConfigKey == "" {
+		t.Error("ConfigKey not recorded")
+	}
+}
+
+// TestObsWorkerUtilizationGauge sanity-checks the volatile half: the
+// utilization gauge lands in (0, workers] and queue wait is non-negative.
+func TestObsWorkerUtilizationGauge(t *testing.T) {
+	col := obs.New()
+	Verify(zoo(), Options{Core: coreOpts(), Workers: 2, Cache: NewCache(), Obs: col})
+	g := col.Gauges()
+	util := g["fleet.worker_utilization"]
+	if util <= 0 || util > 1.0001 {
+		t.Errorf("worker_utilization = %g, want in (0,1]", util)
+	}
+	if g["fleet.queue_wait_ms"] < 0 {
+		t.Errorf("negative queue wait %g", g["fleet.queue_wait_ms"])
+	}
+	if g["fleet.workers"] != 2 {
+		t.Errorf("workers gauge = %g, want 2", g["fleet.workers"])
+	}
+}

@@ -1,0 +1,367 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SchemaID identifies the manifest's wire format. Bump only with a
+// schema change; the golden-file test pins the full schema document.
+const SchemaID = "fcv-run-manifest/v1"
+
+// Manifest is the machine-readable record of one verification or bench
+// run — the "reproducible, machine-readable performance evidence" layer.
+// Field order is the wire order (encoding/json follows declaration
+// order; map keys marshal sorted), so two runs over the same corpus and
+// configuration produce byte-identical manifests modulo the duration,
+// wall-clock and gauge fields.
+type Manifest struct {
+	// Schema is always SchemaID.
+	Schema string `json:"schema"`
+	// Tool names the producer: "fcv verify" or "fcv bench".
+	Tool string `json:"tool"`
+	// ConfigKey is the verification configuration fingerprint (the
+	// fleet cache's config key): equal keys mean comparable runs.
+	ConfigKey string `json:"config_key"`
+	// Workers is the resolved fleet parallelism (0 when not a fleet run).
+	Workers int `json:"workers"`
+	// WallMS is the whole run's wall clock in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Items are the per-design outcomes in input order.
+	Items []ManifestItem `json:"items"`
+	// Stages is the flattened span tree in preorder (deterministic
+	// paths, volatile durations).
+	Stages []SpanInfo `json:"stages"`
+	// Counters are the run's named totals (cache traffic, worklist
+	// iterations, cycles simulated, ...), sorted by name on the wire.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges are named levels (worker utilization, throughput rates).
+	Gauges map[string]float64 `json:"gauges"`
+	// Verdicts tallies the corpus outcomes.
+	Verdicts VerdictTally `json:"verdicts"`
+}
+
+// ManifestItem is one design's row in the manifest.
+type ManifestItem struct {
+	// Name is the corpus item label (deck:cell).
+	Name string `json:"name"`
+	// Fingerprint is the circuit's full structural hash (hex).
+	Fingerprint string `json:"fingerprint"`
+	// Verdict is "pass", "inspect", "violation" or "error".
+	Verdict string `json:"verdict"`
+	// Cached reports a memoized result.
+	Cached bool `json:"cached"`
+	// ElapsedMS is the item's wall-clock cost (volatile).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// VerdictTally counts corpus outcomes by verdict.
+type VerdictTally struct {
+	Pass      int `json:"pass"`
+	Inspect   int `json:"inspect"`
+	Violation int `json:"violation"`
+	Error     int `json:"error"`
+}
+
+// NewManifest seeds a manifest from the collector's spans, counters and
+// gauges; the caller fills the corpus half (Items, Verdicts, Workers,
+// WallMS). Works on a nil collector (empty telemetry).
+func NewManifest(tool, configKey string, c *Collector) *Manifest {
+	m := &Manifest{
+		Schema:    SchemaID,
+		Tool:      tool,
+		ConfigKey: configKey,
+		Stages:    c.Spans(),
+		Counters:  c.Counters(),
+		Gauges:    c.Gauges(),
+	}
+	if m.Counters == nil {
+		m.Counters = map[string]int64{}
+	}
+	if m.Gauges == nil {
+		m.Gauges = map[string]float64{}
+	}
+	if m.Items == nil {
+		m.Items = []ManifestItem{}
+	}
+	if m.Stages == nil {
+		m.Stages = []SpanInfo{}
+	}
+	return m
+}
+
+// JSON marshals the manifest in its canonical indented form, trailing
+// newline included.
+func (m *Manifest) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the manifest atomically (see WriteFileAtomic).
+func (m *Manifest) WriteFile(path string) error {
+	b, err := m.JSON()
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, b)
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory, fsync, and rename — so a reader (or a CI artifact upload)
+// can never observe a truncated file, even if the writer is killed
+// mid-write. The rename is atomic on POSIX filesystems.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// StageTotalMS sums the durations of the manifest's top-level (depth 0)
+// stages — the quantity the acceptance check compares against WallMS:
+// the root spans must cover ≥90% of the run's wall clock or the trace
+// is missing a stage.
+func (m *Manifest) StageTotalMS() float64 {
+	var total float64
+	for _, s := range m.Stages {
+		if s.Depth == 0 {
+			total += s.DurMS
+		}
+	}
+	return total
+}
+
+// manifestFields is the schema/validator source of truth: the top-level
+// object shape. typ is a JSON-Schema type name; "integer" means a JSON
+// number with integral value.
+type manifestField struct {
+	name string
+	typ  string
+}
+
+var manifestFields = []manifestField{
+	{"schema", "string"},
+	{"tool", "string"},
+	{"config_key", "string"},
+	{"workers", "integer"},
+	{"wall_ms", "number"},
+	{"items", "array"},
+	{"stages", "array"},
+	{"counters", "object"},
+	{"gauges", "object"},
+	{"verdicts", "object"},
+}
+
+var itemFields = []manifestField{
+	{"name", "string"},
+	{"fingerprint", "string"},
+	{"verdict", "string"},
+	{"cached", "boolean"},
+	{"elapsed_ms", "number"},
+}
+
+var stageFields = []manifestField{
+	{"path", "string"},
+	{"depth", "integer"},
+	{"dur_ms", "number"},
+}
+
+var verdictFields = []manifestField{
+	{"pass", "integer"},
+	{"inspect", "integer"},
+	{"violation", "integer"},
+	{"error", "integer"},
+}
+
+var itemVerdicts = map[string]bool{
+	"pass": true, "inspect": true, "violation": true, "error": true,
+}
+
+// SchemaJSON returns the manifest's JSON Schema (draft-07) document,
+// generated from the same field tables the validator uses so the two
+// cannot drift. The output is deterministic (map keys marshal sorted)
+// and pinned by internal/obs/testdata/manifest.schema.json.
+func SchemaJSON() []byte {
+	obj := func(fields []manifestField, extra map[string]any) map[string]any {
+		props := map[string]any{}
+		required := make([]string, 0, len(fields))
+		for _, f := range fields {
+			p := map[string]any{"type": f.typ}
+			if o, ok := extra[f.name]; ok {
+				p = o.(map[string]any)
+			}
+			props[f.name] = p
+			required = append(required, f.name)
+		}
+		return map[string]any{
+			"type":                 "object",
+			"required":             required,
+			"additionalProperties": false,
+			"properties":           props,
+		}
+	}
+	intMin0 := map[string]any{"type": "integer", "minimum": 0}
+	doc := obj(manifestFields, map[string]any{
+		"schema":  map[string]any{"type": "string", "const": SchemaID},
+		"workers": intMin0,
+		"wall_ms": map[string]any{"type": "number", "minimum": 0},
+		"items": map[string]any{"type": "array", "items": obj(itemFields, map[string]any{
+			"verdict": map[string]any{"type": "string", "enum": []string{"pass", "inspect", "violation", "error"}},
+		})},
+		"stages":   map[string]any{"type": "array", "items": obj(stageFields, map[string]any{"depth": intMin0})},
+		"counters": map[string]any{"type": "object", "additionalProperties": map[string]any{"type": "integer"}},
+		"gauges":   map[string]any{"type": "object", "additionalProperties": map[string]any{"type": "number"}},
+		"verdicts": obj(verdictFields, map[string]any{
+			"pass": intMin0, "inspect": intMin0, "violation": intMin0, "error": intMin0,
+		}),
+	})
+	doc["$schema"] = "http://json-schema.org/draft-07/schema#"
+	doc["$id"] = SchemaID
+	doc["title"] = "fcv run manifest"
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		panic(err) // static document; cannot fail
+	}
+	return append(b, '\n')
+}
+
+// ValidateManifest checks a manifest document against the schema: all
+// required fields present with the right types, no unknown fields, the
+// schema identifier current, item verdicts from the enum, and tallies
+// non-negative. It is the `fcv manifest-check` engine.
+func ValidateManifest(data []byte) error {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("manifest: not valid JSON: %w", err)
+	}
+	if err := checkObject("manifest", doc, manifestFields); err != nil {
+		return err
+	}
+	if id := doc["schema"].(string); id != SchemaID {
+		return fmt.Errorf("manifest: schema %q, want %q", id, SchemaID)
+	}
+	for i, el := range doc["items"].([]any) {
+		it, ok := el.(map[string]any)
+		if !ok {
+			return fmt.Errorf("manifest: items[%d]: not an object", i)
+		}
+		ctx := fmt.Sprintf("items[%d]", i)
+		if err := checkObject(ctx, it, itemFields); err != nil {
+			return err
+		}
+		if v := it["verdict"].(string); !itemVerdicts[v] {
+			return fmt.Errorf("manifest: %s: unknown verdict %q", ctx, v)
+		}
+	}
+	for i, el := range doc["stages"].([]any) {
+		st, ok := el.(map[string]any)
+		if !ok {
+			return fmt.Errorf("manifest: stages[%d]: not an object", i)
+		}
+		ctx := fmt.Sprintf("stages[%d]", i)
+		if err := checkObject(ctx, st, stageFields); err != nil {
+			return err
+		}
+		if st["depth"].(float64) < 0 {
+			return fmt.Errorf("manifest: %s: negative depth", ctx)
+		}
+	}
+	for k, v := range doc["counters"].(map[string]any) {
+		if !isType(v, "integer") {
+			return fmt.Errorf("manifest: counters[%q]: not an integer", k)
+		}
+	}
+	for k, v := range doc["gauges"].(map[string]any) {
+		if !isType(v, "number") {
+			return fmt.Errorf("manifest: gauges[%q]: not a number", k)
+		}
+	}
+	vt := doc["verdicts"].(map[string]any)
+	if err := checkObject("verdicts", vt, verdictFields); err != nil {
+		return err
+	}
+	for _, f := range verdictFields {
+		if vt[f.name].(float64) < 0 {
+			return fmt.Errorf("manifest: verdicts.%s: negative", f.name)
+		}
+	}
+	return nil
+}
+
+// checkObject enforces exactly the given fields with the given types.
+func checkObject(ctx string, o map[string]any, fields []manifestField) error {
+	known := make(map[string]string, len(fields))
+	for _, f := range fields {
+		known[f.name] = f.typ
+		v, ok := o[f.name]
+		if !ok {
+			return fmt.Errorf("manifest: %s: missing required field %q", ctx, f.name)
+		}
+		if !isType(v, f.typ) {
+			return fmt.Errorf("manifest: %s.%s: want %s", ctx, f.name, f.typ)
+		}
+	}
+	for k := range o {
+		if _, ok := known[k]; !ok {
+			return fmt.Errorf("manifest: %s: unknown field %q", ctx, k)
+		}
+	}
+	return nil
+}
+
+// isType checks a decoded JSON value against a schema type name.
+func isType(v any, typ string) bool {
+	switch typ {
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "boolean":
+		_, ok := v.(bool)
+		return ok
+	case "number":
+		_, ok := v.(float64)
+		return ok
+	case "integer":
+		f, ok := v.(float64)
+		return ok && f == float64(int64(f))
+	case "array":
+		_, ok := v.([]any)
+		return ok
+	case "object":
+		_, ok := v.(map[string]any)
+		return ok
+	}
+	return false
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleManifest builds a small, fully-populated manifest.
+func sampleManifest() *Manifest {
+	c := New()
+	root := c.Start("fleet")
+	cell := root.Child("cellA")
+	cell.Child("recognize").End()
+	cell.End()
+	root.End()
+	c.Add("fleet.cache.hits", 1)
+	c.SetGauge("fleet.workers", 2)
+	m := NewManifest("fcv verify", "proc=x|clock=5000", c)
+	m.Workers = 2
+	m.WallMS = 1.5
+	m.Items = append(m.Items, ManifestItem{
+		Name:        "cellA",
+		Fingerprint: strings.Repeat("ab", 32),
+		Verdict:     "pass",
+		Cached:      false,
+		ElapsedMS:   1.2,
+	})
+	m.Verdicts = VerdictTally{Pass: 1}
+	return m
+}
+
+// TestSchemaGolden pins the manifest JSON Schema byte for byte. A
+// diff here means the wire format changed: bump SchemaID and
+// regenerate with `fcv manifest-check -print-schema`.
+func TestSchemaGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "manifest.schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SchemaJSON()
+	if !bytes.Equal(got, golden) {
+		t.Errorf("SchemaJSON drifted from testdata/manifest.schema.json:\n--- got ---\n%s\n--- golden ---\n%s", got, golden)
+	}
+}
+
+// TestManifestValidates round-trips a built manifest through the
+// validator.
+func TestManifestValidates(t *testing.T) {
+	b, err := sampleManifest().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateManifest(b); err != nil {
+		t.Errorf("built manifest rejected: %v", err)
+	}
+	// Empty telemetry (nil collector) must also validate.
+	empty := NewManifest("fcv bench", "", nil)
+	b, err = empty.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateManifest(b); err != nil {
+		t.Errorf("empty manifest rejected: %v", err)
+	}
+}
+
+// TestValidateRejects walks the failure modes: each mutation of a
+// valid document must be named in the error.
+func TestValidateRejects(t *testing.T) {
+	valid, err := sampleManifest().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func(doc map[string]any)) []byte {
+		var doc map[string]any
+		if err := json.Unmarshal(valid, &doc); err != nil {
+			t.Fatal(err)
+		}
+		fn(doc)
+		b, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string
+	}{
+		{"not json", []byte("{truncated"), "not valid JSON"},
+		{"missing field", mutate(func(d map[string]any) { delete(d, "config_key") }), "missing required field"},
+		{"wrong type", mutate(func(d map[string]any) { d["workers"] = "four" }), "want integer"},
+		{"float counter", mutate(func(d map[string]any) {
+			d["counters"].(map[string]any)["fleet.cache.hits"] = 1.5
+		}), "not an integer"},
+		{"unknown field", mutate(func(d map[string]any) { d["extra"] = 1 }), "unknown field"},
+		{"stale schema id", mutate(func(d map[string]any) { d["schema"] = "fcv-run-manifest/v0" }), "want \"fcv-run-manifest/v1\""},
+		{"bad verdict", mutate(func(d map[string]any) {
+			d["items"].([]any)[0].(map[string]any)["verdict"] = "maybe"
+		}), "unknown verdict"},
+		{"item missing field", mutate(func(d map[string]any) {
+			delete(d["items"].([]any)[0].(map[string]any), "fingerprint")
+		}), "missing required field"},
+		{"negative tally", mutate(func(d map[string]any) {
+			d["verdicts"].(map[string]any)["pass"] = -1.0
+		}), "negative"},
+	}
+	for _, tc := range cases {
+		err := ValidateManifest(tc.data)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestStageTotalMS sums only top-level spans.
+func TestStageTotalMS(t *testing.T) {
+	m := &Manifest{Stages: []SpanInfo{
+		{Path: "fleet", Depth: 0, DurMS: 10},
+		{Path: "fleet/a", Depth: 1, DurMS: 6},
+		{Path: "rtl", Depth: 0, DurMS: 5},
+	}}
+	if got := m.StageTotalMS(); got != 15 {
+		t.Errorf("StageTotalMS = %g, want 15", got)
+	}
+}
+
+// TestWriteFileAtomic checks content, overwrite semantics, and that no
+// temp litter survives.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Errorf("content = %q, want %q", got, "second")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp files left behind: %v", entries)
+	}
+	// Missing parent directory is an error, not a panic.
+	if err := WriteFileAtomic(filepath.Join(dir, "no/such/dir/x.json"), []byte("x")); err == nil {
+		t.Error("write into missing directory succeeded")
+	}
+}
+
+// TestManifestWriteFile round-trips through the file.
+func TestManifestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := sampleManifest().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateManifest(data); err != nil {
+		t.Errorf("written manifest invalid: %v", err)
+	}
+}

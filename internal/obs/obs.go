@@ -1,0 +1,343 @@
+// Package obs is the verification pipeline's observability substrate: a
+// zero-dependency tracing and metrics collector threaded through
+// core.Verify, the fleet driver, the switch-level simulator and the RTL
+// simulator.
+//
+// The paper's CBV methodology works by "filtering circuits that do not
+// have a problem" at chip scale — which only holds up if the tools
+// themselves are measurable. ChiBench (PAPERS.md) makes the same point
+// for EDA tooling generally: performance claims need reproducible,
+// machine-readable evidence. This package is that evidence layer:
+//
+//   - Spans form a tree of named, monotonically-timed intervals (one per
+//     pipeline stage, one per fleet cell) rendered as an indented trace
+//     or flattened into a run manifest.
+//   - Counters and gauges record named totals (cache hits, worklist
+//     iterations, cycles simulated) and levels (worker utilization).
+//
+// Everything is goroutine-safe, and — the property the hot paths rely
+// on — nil-safe: a nil *Collector and a nil *Span accept every call as
+// a no-op without allocating, so instrumented code needs no "is
+// telemetry on?" branches and pays nothing when it is off (the
+// BenchmarkNoop* benchmarks pin this at zero allocations).
+//
+// Determinism contract: the *structure* reported — span paths and their
+// order, counter names and values for a deterministic workload — is
+// identical across runs and worker counts. Only durations and gauges
+// derived from wall clock vary. Sibling spans render in creation order,
+// so concurrent span producers (fleet workers) must pre-create their
+// spans in a deterministic order and Restart them at pickup; the fleet
+// driver does exactly that.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Collector gathers one run's spans, counters and gauges. The zero
+// value is not usable; construct with New. A nil *Collector is the
+// valid, allocation-free "telemetry off" state.
+type Collector struct {
+	base time.Time // monotonic reference for all span offsets
+
+	mu       sync.Mutex
+	roots    []*Span
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// New returns an empty collector whose span clock starts now.
+func New() *Collector {
+	return &Collector{
+		base:     time.Now(),
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// Enabled reports whether telemetry is being collected (c non-nil).
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Span is one named interval in the trace tree. A nil *Span no-ops
+// every method, so spans can be threaded through options structs
+// unconditionally.
+type Span struct {
+	c        *Collector
+	parent   *Span
+	name     string
+	start    time.Duration // offset from the collector's base
+	dur      time.Duration // set by End
+	ended    bool
+	children []*Span
+}
+
+// Start opens a root-level span. Returns nil on a nil collector.
+func (c *Collector) Start(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	s := &Span{c: c, name: name, start: time.Since(c.base)}
+	c.mu.Lock()
+	c.roots = append(c.roots, s)
+	c.mu.Unlock()
+	return s
+}
+
+// Child opens a sub-span. Returns nil on a nil span. Siblings keep
+// creation order in the rendered tree, so concurrent producers that
+// need a deterministic trace must create children from one goroutine
+// (or pre-create them in a fixed order and Restart at work start).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{c: s.c, parent: s, name: name, start: time.Since(s.c.base)}
+	s.c.mu.Lock()
+	s.children = append(s.children, child)
+	s.c.mu.Unlock()
+	return child
+}
+
+// Restart re-bases the span's start to now and returns the time spent
+// between creation and this call — the queue-wait of a span created at
+// enqueue and restarted at pickup. No-op (returning 0) on nil.
+func (s *Span) Restart() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.c.mu.Lock()
+	now := time.Since(s.c.base)
+	wait := now - s.start
+	s.start = now
+	s.c.mu.Unlock()
+	return wait
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the
+// first duration; ending a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.c.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.c.base) - s.start
+		s.ended = true
+	}
+	s.c.mu.Unlock()
+}
+
+// Duration returns the span's length: End's fix if ended, else the
+// live elapsed time. Zero on nil.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.c.base) - s.start
+}
+
+// Name returns the span's label ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Collector returns the span's owning collector (nil on nil), so
+// instrumented code handed only a span can still bump counters.
+func (s *Span) Collector() *Collector {
+	if s == nil {
+		return nil
+	}
+	return s.c
+}
+
+// Add increments a named counter. No-op on nil.
+func (c *Collector) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// SetGauge records a named level, overwriting any previous value.
+func (c *Collector) SetGauge(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// AddGauge accumulates into a named gauge. Gauges are the manifest's
+// volatile half — durations, rates, scheduling-dependent tallies — so
+// quantities that vary run to run belong here, never in a counter (the
+// counter set is contractually deterministic for a given workload).
+func (c *Collector) AddGauge(name string, delta float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gauges[name] += delta
+	c.mu.Unlock()
+}
+
+// Gauge returns the named gauge's value (0 if absent or nil c).
+func (c *Collector) Gauge(name string) float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gauges[name]
+}
+
+// Counter returns the named counter's value (0 if absent or nil c).
+func (c *Collector) Counter(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// Counters returns a copy of all counters (nil map on nil c).
+func (c *Collector) Counters() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges returns a copy of all gauges (nil map on nil c).
+func (c *Collector) Gauges() map[string]float64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.gauges))
+	for k, v := range c.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// SpanInfo is one flattened span: its slash-joined path from the root,
+// its depth, and its duration in milliseconds. The Path/Depth sequence
+// is the deterministic half; DurMS is the volatile half.
+type SpanInfo struct {
+	// Path joins the ancestor names with '/': "fleet/adder16/checks".
+	Path string `json:"path"`
+	// Depth is 0 for roots.
+	Depth int `json:"depth"`
+	// DurMS is the span length in milliseconds (live value if unended).
+	DurMS float64 `json:"dur_ms"`
+}
+
+// Spans flattens the trace tree in preorder, siblings in creation
+// order. Nil collector yields nil.
+func (c *Collector) Spans() []SpanInfo {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Since(c.base)
+	var out []SpanInfo
+	var walk func(s *Span, prefix string, depth int)
+	walk = func(s *Span, prefix string, depth int) {
+		path := s.name
+		if prefix != "" {
+			path = prefix + "/" + s.name
+		}
+		d := s.dur
+		if !s.ended {
+			d = now - s.start
+		}
+		out = append(out, SpanInfo{Path: path, Depth: depth, DurMS: ms(d)})
+		for _, ch := range s.children {
+			walk(ch, path, depth+1)
+		}
+	}
+	for _, r := range c.roots {
+		walk(r, "", 0)
+	}
+	return out
+}
+
+// Tree renders the span tree as indented text with durations — the
+// `fcv verify -trace` output. Empty string on nil.
+//
+//	fleet                                 12.41ms
+//	  decks/domino_and2.sp:and2            5.08ms  (queued 0.02ms)
+//	    recognize                          1.10ms
+//	    checks                             2.75ms
+//	    timing                             1.18ms
+func (c *Collector) Tree() string {
+	if c == nil {
+		return ""
+	}
+	infos := c.Spans()
+	var sb strings.Builder
+	for _, in := range infos {
+		name := in.Path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		indent := strings.Repeat("  ", in.Depth)
+		fmt.Fprintf(&sb, "%-44s %10.2fms\n", indent+name, in.DurMS)
+	}
+	return sb.String()
+}
+
+// CountersText renders all counters and gauges sorted by name, one per
+// line — the human tail of the -trace output.
+func (c *Collector) CountersText() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.counters))
+	for k := range c.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&sb, "  %-42s %d\n", k, c.counters[k])
+	}
+	gnames := make([]string, 0, len(c.gauges))
+	for k := range c.gauges {
+		gnames = append(gnames, k)
+	}
+	sort.Strings(gnames)
+	for _, k := range gnames {
+		fmt.Fprintf(&sb, "  %-42s %.3f\n", k, c.gauges[k])
+	}
+	return sb.String()
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

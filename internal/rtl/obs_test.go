@@ -1,0 +1,85 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const twoPhaseSrc = `
+module top(d[8] -> q[8])
+reg r1[8] @phi1
+reg r2[8] @phi2
+on phi1: r1 <= d
+on phi2: r2 <= r1
+assign q = r2
+endmodule
+`
+
+// TestObserverCycleCounters checks the RTL telemetry: completed cycles
+// count into rtl.cycles and every clock phase accumulates a timing
+// gauge — and observation never changes simulation results.
+func TestObserverCycleCounters(t *testing.T) {
+	s := mustSim(t, twoPhaseSrc)
+	col := obs.New()
+	s.SetObserver(col)
+	set(t, s, "d", 42)
+	s.Run(10)
+	if got := col.Counter("rtl.cycles"); got != 10 {
+		t.Errorf("rtl.cycles = %d, want 10", got)
+	}
+	gauges := col.Gauges()
+	for _, phase := range s.Design().Phases {
+		name := "rtl.phase." + phase + "_ms"
+		if _, ok := gauges[name]; !ok {
+			t.Errorf("missing phase gauge %s (have %v)", name, gauges)
+		}
+		if gauges[name] < 0 {
+			t.Errorf("negative phase time %s = %g", name, gauges[name])
+		}
+	}
+	if got := s.Get("q"); got != 42 {
+		t.Errorf("traced pipeline q = %d, want 42", got)
+	}
+
+	// Untraced reference must agree cycle for cycle.
+	ref := mustSim(t, twoPhaseSrc)
+	set(t, ref, "d", 42)
+	ref.Run(10)
+	if ref.Get("q") != s.Get("q") || ref.Cycles() != s.Cycles() {
+		t.Error("observer changed simulation state")
+	}
+}
+
+// TestObserverDetachRestoresFastPath: SetObserver(nil) returns Cycle to
+// the untimed path and stops counting.
+func TestObserverDetachRestoresFastPath(t *testing.T) {
+	s := mustSim(t, twoPhaseSrc)
+	col := obs.New()
+	s.SetObserver(col)
+	s.Run(3)
+	s.SetObserver(nil)
+	s.Run(4)
+	if got := col.Counter("rtl.cycles"); got != 3 {
+		t.Errorf("rtl.cycles = %d after detach, want 3", got)
+	}
+	if s.Cycles() != 7 {
+		t.Errorf("cycles = %d, want 7", s.Cycles())
+	}
+}
+
+// TestPhaseGaugeNames pins the gauge naming scheme the manifest docs
+// promise (rtl.phase.<name>_ms).
+func TestPhaseGaugeNames(t *testing.T) {
+	s := mustSim(t, twoPhaseSrc)
+	s.SetObserver(obs.New())
+	for _, g := range s.phaseGauges {
+		if !strings.HasPrefix(g, "rtl.phase.") || !strings.HasSuffix(g, "_ms") {
+			t.Errorf("gauge name %q breaks rtl.phase.<name>_ms scheme", g)
+		}
+	}
+	if len(s.phaseGauges) != len(s.Design().Phases) {
+		t.Errorf("%d gauge names for %d phases", len(s.phaseGauges), len(s.Design().Phases))
+	}
+}

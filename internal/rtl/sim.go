@@ -3,6 +3,9 @@ package rtl
 import (
 	"fmt"
 	"math/bits"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Sim is a phase-accurate simulator for an elaborated design. Signal
@@ -28,6 +31,12 @@ type Sim struct {
 
 	cycles   uint64
 	activity *activityState
+
+	// obs, when set, receives rtl.cycles counters and per-phase timing
+	// gauges; phaseGauges pre-joins the gauge names so the traced cycle
+	// path does no string building.
+	obs         *obs.Collector
+	phaseGauges []string
 }
 
 // pendingWrite stages one clocked update between the evaluate and
@@ -282,11 +291,41 @@ func (s *Sim) runPhase(stmts []compiledClocked) {
 // Cycle runs all phases once in sorted order (phi1 before phi2) and
 // counts a completed cycle.
 func (s *Sim) Cycle() {
+	if s.obs != nil {
+		s.cycleTraced()
+		return
+	}
 	for _, stmts := range s.phaseStmts {
 		s.runPhase(stmts)
 	}
 	s.cycles++
 	s.recordCycleActivity()
+}
+
+// cycleTraced is Cycle with telemetry: each phase's wall clock
+// accumulates into its rtl.phase.<name>_ms gauge and completed cycles
+// into the rtl.cycles counter. Kept off Cycle's untraced path so the
+// "telemetry disabled" hot loop has no time.Now calls.
+func (s *Sim) cycleTraced() {
+	for pi, stmts := range s.phaseStmts {
+		t0 := time.Now()
+		s.runPhase(stmts)
+		s.obs.AddGauge(s.phaseGauges[pi], float64(time.Since(t0).Microseconds())/1000)
+	}
+	s.cycles++
+	s.recordCycleActivity()
+	s.obs.Add("rtl.cycles", 1)
+}
+
+// SetObserver attaches a telemetry collector (nil detaches): completed
+// cycles count into rtl.cycles, and each clock phase's cumulative wall
+// clock into an rtl.phase.<name>_ms gauge.
+func (s *Sim) SetObserver(c *obs.Collector) {
+	s.obs = c
+	s.phaseGauges = s.phaseGauges[:0]
+	for _, p := range s.design.Phases {
+		s.phaseGauges = append(s.phaseGauges, "rtl.phase."+p+"_ms")
+	}
 }
 
 // Run executes n cycles.

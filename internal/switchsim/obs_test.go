@@ -1,0 +1,56 @@
+package switchsim
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/obs"
+)
+
+// TestObserverCounters checks the worklist telemetry: every Settle
+// adds its iteration and component-evaluation totals, and the counters
+// agree with the Sim's own Steps/CompEvals accounting.
+func TestObserverCounters(t *testing.T) {
+	c := netlist.New("chain")
+	addInv(c, "u1", "a", "m")
+	addInv(c, "u2", "m", "y")
+	col := obs.New()
+	s := newSim(t, c)
+	s.SetObserver(col)
+	prevSteps, prevEvals := s.Steps(), s.CompEvals()
+	s.Set("a", Hi)
+	s.Set("a", Lo)
+	if got := col.Counter("switchsim.settles"); got != 2 {
+		t.Errorf("settles = %d, want 2", got)
+	}
+	if got := col.Counter("switchsim.worklist_iterations"); got != int64(s.Steps()-prevSteps) {
+		t.Errorf("iterations counter %d != steps delta %d", got, s.Steps()-prevSteps)
+	}
+	if got := col.Counter("switchsim.components_resettled"); got != int64(s.CompEvals()-prevEvals) {
+		t.Errorf("resettled counter %d != compEvals delta %d", got, s.CompEvals()-prevEvals)
+	}
+	if col.Counter("switchsim.components_resettled") <= 0 {
+		t.Error("no component evaluations recorded")
+	}
+}
+
+// TestObserverDetach: a nil observer restores the uninstrumented path,
+// and attaching never changes simulation results.
+func TestObserverDetach(t *testing.T) {
+	build := func() *Sim {
+		c := netlist.New("inv")
+		addInv(c, "u1", "a", "y")
+		return newSim(t, c)
+	}
+	plain, traced := build(), build()
+	traced.SetObserver(obs.New())
+	traced.SetObserver(nil)
+	plain.Set("a", Hi)
+	traced.Set("a", Hi)
+	if plain.Get("y") != traced.Get("y") {
+		t.Error("observer changed simulation result")
+	}
+	if plain.Steps() != traced.Steps() {
+		t.Errorf("observer changed step count: %d vs %d", plain.Steps(), traced.Steps())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/process"
 )
 
@@ -74,8 +75,12 @@ type Sim struct {
 	// Every device on a non-supply node belongs to that node's
 	// component, so component-local walks can use it unfiltered.
 	devsByNode [][]*netlist.Device
-	// steps counts relaxation iterations for reporting.
-	steps int
+	// steps counts relaxation iterations for reporting; compEvals
+	// counts component evaluations (the worklist's unit of work).
+	steps     int
+	compEvals int
+	// obs, when set, receives worklist counters after every Settle.
+	obs *obs.Collector
 
 	// Static partition: comp maps each node to its channel-connected
 	// component (-1 for supply rails, which belong to every component's
@@ -326,17 +331,28 @@ func (s *Sim) conducts(d *netlist.Device) conductance {
 // exceeded, the still-changing nodes are set to X (oscillation — e.g.
 // an enabled ring).
 func (s *Sim) Settle() int {
+	prevEvals := s.compEvals
+	iters := s.settleLoop()
+	s.steps += iters
+	if s.obs != nil {
+		s.obs.Add("switchsim.settles", 1)
+		s.obs.Add("switchsim.worklist_iterations", int64(iters))
+		s.obs.Add("switchsim.components_resettled", int64(s.compEvals-prevEvals))
+	}
+	return iters
+}
+
+// settleLoop is Settle's worklist relaxation, counters excluded.
+func (s *Sim) settleLoop() int {
 	iters := 0
 	for {
 		wl := s.takeDirty()
 		if len(wl) == 0 {
-			s.steps += iters
 			return iters
 		}
 		changed := s.waveEval(wl)
 		iters++
 		if len(changed) == 0 {
-			s.steps += iters
 			return iters
 		}
 		for _, id := range changed {
@@ -349,7 +365,6 @@ func (s *Sim) Settle() int {
 					s.markNode(id)
 				}
 			}
-			s.steps += iters
 			return iters
 		}
 	}
@@ -408,6 +423,7 @@ func (s *Sim) takeDirty() []int {
 // like one Jacobi sweep restricted to those components) and returns the
 // nodes whose value changed.
 func (s *Sim) waveEval(comps []int) []netlist.NodeID {
+	s.compEvals += len(comps)
 	s.pend = s.pend[:0]
 	for _, ci := range comps {
 		s.evalComp(ci)
@@ -755,6 +771,16 @@ func min2(a, b float64) float64 {
 // Steps returns the cumulative relaxation iterations (a simulation cost
 // metric).
 func (s *Sim) Steps() int { return s.steps }
+
+// CompEvals returns the cumulative component evaluations — the
+// worklist's unit of work, and the number a full-sweep schedule would
+// dwarf (it evaluates every component every wave).
+func (s *Sim) CompEvals() int { return s.compEvals }
+
+// SetObserver attaches a telemetry collector: every Settle adds
+// switchsim.settles, switchsim.worklist_iterations and
+// switchsim.components_resettled. A nil collector detaches.
+func (s *Sim) SetObserver(c *obs.Collector) { s.obs = c }
 
 // Snapshot returns a name→value map of all non-supply nodes, for test
 // assertions and trace dumps.
