@@ -14,6 +14,8 @@
 //	fcv bench                     # measure throughput metrics -> BENCH_fleet.json
 //	fcv manifest-check <m.json>   # validate a run manifest against its schema
 //	fcv trend -baseline b.json m.json  # fail on throughput regression past tolerance
+//	fcv diff <base.json> <cur.json>    # new/fixed/changed findings between two manifests
+//	fcv report [-html] <m.json>        # render a manifest as a human-readable run report
 //
 // verify is the fleet driver: it accepts several decks (and, with
 // -cells, every cell of each deck as its own corpus member), verifies
@@ -22,13 +24,21 @@
 // 1 when any design is in violation or errors, 2 on operational
 // failure:
 //
-//	fcv verify [-j N] [-cells] [-cache] [-quiet] [-manifest m.json] [-trace] [-pprof-labels] <deck.sp>... [top]
+//	fcv verify [-j N] [-cells] [-cache] [-lint] [-quiet] [-manifest m.json] [-events e.jsonl] [-trace] [-pprof-labels] <deck.sp>... [top]
 //
 // -manifest writes the machine-readable run manifest (schema
-// fcv-run-manifest/v1: config key, fingerprints, per-stage durations,
-// counters, verdict tallies); -trace prints the span tree and counters;
+// fcv-run-manifest/v2: config key, fingerprints, per-item provenanced
+// findings with stable IDs, per-stage durations, counters, duration
+// histograms, verdict tallies); -events streams live JSONL events
+// (item/stage/cache/finding) whose sequence is deterministic at any -j;
+// -lint runs the static gate before the battery so lint findings reach
+// the manifest; -trace prints the span tree and counters;
 // -pprof-labels tags fleet worker goroutines with fcv_cell/fcv_stage
 // labels so CPU profiles attribute samples to cells and stages.
+//
+// diff compares two run manifests by stable finding ID and exits 0 when
+// no new findings appeared, 1 when any did (fixed findings never fail
+// the gate), 2 on operational failure — the run-to-run regression gate.
 //
 // Flags:
 //
@@ -76,13 +86,15 @@ var (
 	errVerifyFindings  = errors.New("verification findings")
 	errManifestInvalid = errors.New("manifest invalid")
 	errTrendRegression = errors.New("throughput regression")
+	errDiffNewFindings = errors.New("new findings")
 )
 
 // isFindings classifies the exit-1 family: the tool ran fine and the
 // inputs were judged bad, as opposed to operational failure (exit 2).
 func isFindings(err error) bool {
 	return errors.Is(err, errLintFindings) || errors.Is(err, errVerifyFindings) ||
-		errors.Is(err, errManifestInvalid) || errors.Is(err, errTrendRegression)
+		errors.Is(err, errManifestInvalid) || errors.Is(err, errTrendRegression) ||
+		errors.Is(err, errDiffNewFindings)
 }
 
 var (
@@ -190,6 +202,12 @@ func run(cmd string, args []string) error {
 
 	case "trend":
 		return runTrend(args, os.Stdout)
+
+	case "diff":
+		return runDiff(args, os.Stdout)
+
+	case "report":
+		return runReport(args, os.Stdout)
 	}
 
 	// Netlist-based subcommands.
@@ -292,6 +310,8 @@ func runVerify(args []string, proc *process.Process, period float64, out *os.Fil
 	useCache := fs.Bool("cache", true, "memoize results under structural fingerprints")
 	quiet := fs.Bool("quiet", false, "suppress per-design timing breakdown")
 	manifestPath := fs.String("manifest", "", "write a run-manifest JSON (schema "+obs.SchemaID+") to this path")
+	eventsPath := fs.String("events", "", "stream live JSONL events (stage/finding/cache) to this path")
+	lintGate := fs.Bool("lint", false, "run the static lint gate before the electrical battery")
 	trace := fs.Bool("trace", false, "print the span tree and counters after the report")
 	pprofLabels := fs.Bool("pprof-labels", false, "tag worker goroutines with fcv_cell/fcv_stage pprof labels")
 	if err := fs.Parse(args); err != nil {
@@ -347,7 +367,7 @@ func runVerify(args []string, proc *process.Process, period float64, out *os.Fil
 		items = append(items, fleet.Item{Name: name, Circuit: flat})
 	}
 	opt := fleet.Options{
-		Core:        core.Options{Proc: proc, Clock: timing.TwoPhase(period)},
+		Core:        core.Options{Proc: proc, Clock: timing.TwoPhase(period), Lint: *lintGate},
 		Workers:     *workers,
 		PprofLabels: *pprofLabels,
 	}
@@ -359,7 +379,28 @@ func runVerify(args []string, proc *process.Process, period float64, out *os.Fil
 		col = obs.New()
 		opt.Obs = col
 	}
+	var eventsFile *os.File
+	if *eventsPath != "" {
+		ef, err := os.Create(*eventsPath)
+		if err != nil {
+			return err
+		}
+		eventsFile = ef
+		opt.Events = obs.NewEventSink(ef)
+	}
 	rep := fleet.Verify(items, opt)
+	if eventsFile != nil {
+		// The fleet emitted run-end, so the stream is complete; close the
+		// sink and surface any latched write error before the exit-code
+		// decision.
+		if err := opt.Events.Close(); err != nil {
+			eventsFile.Close()
+			return fmt.Errorf("events: %w", err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			return err
+		}
+	}
 	fmt.Fprint(out, rep.Text())
 	if !*quiet {
 		fmt.Fprint(out, rep.TimingText())

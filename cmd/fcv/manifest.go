@@ -11,23 +11,21 @@ import (
 
 // buildManifest assembles the run manifest from a fleet report and its
 // telemetry collector: the collector contributes the span tree,
-// counters and gauges; the report contributes the corpus half (items,
-// verdict tallies, workers, wall clock, config key).
+// counters, gauges and histograms; the report contributes the corpus
+// half (items with their provenanced findings, verdict tallies,
+// workers, wall clock, config key).
 func buildManifest(tool string, rep *fleet.Report, col *obs.Collector) *obs.Manifest {
 	m := obs.NewManifest(tool, rep.ConfigKey, col)
 	m.Workers = rep.Workers
 	m.WallMS = float64(rep.Elapsed.Microseconds()) / 1000
 	for _, res := range rep.Results {
-		verdict := "error"
-		if res.Err == nil {
-			verdict = res.Report.Verdict.String()
-		}
 		m.Items = append(m.Items, obs.ManifestItem{
 			Name:        res.Name,
 			Fingerprint: res.Fingerprint.String(),
-			Verdict:     verdict,
+			Verdict:     res.VerdictString(),
 			Cached:      res.Cached,
 			ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1000,
+			Findings:    res.Findings(),
 		})
 	}
 	p, i, v, f := rep.Counts()
@@ -36,7 +34,8 @@ func buildManifest(tool string, rep *fleet.Report, col *obs.Collector) *obs.Mani
 }
 
 // runManifestCheck is the manifest-check subcommand: validate a run
-// manifest against the fcv-run-manifest/v1 schema.
+// manifest against the fcv-run-manifest/v2 schema (legacy v1 documents
+// validate through the frozen compat reader).
 //
 //	fcv manifest-check <manifest.json>
 //	fcv manifest-check -print-schema
@@ -64,12 +63,13 @@ func runManifestCheck(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		if err := obs.ValidateManifest(data); err != nil {
+		m, err := obs.ParseManifest(data)
+		if err != nil {
 			fmt.Fprintf(out, "manifest-check: %s: INVALID: %v\n", path, err)
 			failed++
 			continue
 		}
-		fmt.Fprintf(out, "manifest-check: %s: ok (schema %s)\n", path, obs.SchemaID)
+		fmt.Fprintf(out, "manifest-check: %s: ok (schema %s)\n", path, m.Schema)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%w: %d of %d file(s) failed validation", errManifestInvalid, failed, len(rest))

@@ -50,8 +50,10 @@ func captureVerify(t *testing.T, args []string) (string, *obs.Manifest) {
 	return string(text), &m
 }
 
-// stripVolatile zeroes the duration/timestamp fields and gauges — the
-// documented run-variable half of the manifest.
+// stripVolatile zeroes the duration/timestamp fields, gauges and
+// histogram contents — the documented run-variable half of the
+// manifest. Histogram *names and bucket layout* are deterministic, so
+// they are kept; only the wall-clock-derived counts and sums are masked.
 func stripVolatile(m *obs.Manifest) {
 	m.WallMS = 0
 	for i := range m.Items {
@@ -61,6 +63,9 @@ func stripVolatile(m *obs.Manifest) {
 		m.Stages[i].DurMS = 0
 	}
 	m.Gauges = map[string]float64{}
+	for k, h := range m.Histograms {
+		m.Histograms[k] = obs.Histogram{Counts: make([]int64, len(h.Counts))}
+	}
 }
 
 // TestVerifyManifestEndToEnd is the acceptance check in miniature:

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureReport runs runReport with output captured to a temp file.
+func captureReport(t *testing.T, args []string) string {
+	t.Helper()
+	outFile, err := os.CreateTemp(t.TempDir(), "report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outFile.Close()
+	if err := runReport(args, outFile); err != nil {
+		t.Fatalf("runReport(%v): %v", args, err)
+	}
+	text, err := os.ReadFile(outFile.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(text)
+}
+
+// TestReportText renders a real run manifest as text and checks every
+// section the tentpole names: waterfall, slowest cells, cache ratio,
+// histogram quantiles and findings grouped by check with evidence.
+func TestReportText(t *testing.T) {
+	dir := t.TempDir()
+	clean := writeDeck(t, multiCellDeck)
+	mpath, _ := verifyToManifest(t, dir, "rep", "2", "-lint", "-cells", clean, brokenDeck)
+
+	out := captureReport(t, []string{mpath})
+	for _, want := range []string{
+		"run report: fcv verify",
+		"verdicts:",
+		"cache:",
+		"slowest",
+		"per-cell stage waterfall",
+		"recognize", // a stage row under some cell
+		"duration distributions",
+		"fleet.item_ms",
+		"findings by check",
+		"lint/",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportHTML checks the HTML rendering is one self-contained page:
+// full document, no external references, findings and IDs present,
+// cell names escaped.
+func TestReportHTML(t *testing.T) {
+	dir := t.TempDir()
+	mpath, _ := verifyToManifest(t, dir, "html", "2", "-lint", "-cells", brokenDeck)
+
+	out := captureReport(t, []string{"-html", mpath})
+	if !strings.HasPrefix(out, "<!DOCTYPE html>") || !strings.Contains(out, "</html>") {
+		t.Error("not a complete HTML document")
+	}
+	for _, banned := range []string{"<script", "src=", "href=", "@import"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("HTML report is not self-contained: found %q", banned)
+		}
+	}
+	if !strings.Contains(out, "findings by check") || !strings.Contains(out, "lint/") {
+		t.Errorf("HTML report missing findings section:\n%s", out)
+	}
+
+	// -o writes the same bytes to a file.
+	hpath := filepath.Join(dir, "report.html")
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := runReport([]string{"-html", "-o", hpath, mpath}, devnull); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(hpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out {
+		t.Error("-o file differs from stdout rendering")
+	}
+}
+
+// TestReportTopN checks -top truncates the slowest-items table.
+func TestReportTopN(t *testing.T) {
+	dir := t.TempDir()
+	clean := writeDeck(t, multiCellDeck)
+	mpath, _ := verifyToManifest(t, dir, "topn", "1", "-cells", clean)
+
+	out := captureReport(t, []string{"-top", "1", mpath})
+	if !strings.Contains(out, "slowest 1 item(s)") {
+		t.Errorf("-top 1 not honoured:\n%s", out)
+	}
+}
+
+// TestReportOperationalFailure checks unreadable input exits 2.
+func TestReportOperationalFailure(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	err = runReport([]string{"/nonexistent/m.json"}, devnull)
+	if err == nil || isFindings(err) {
+		t.Errorf("unreadable manifest = %v, want operational failure", err)
+	}
+}

@@ -7,19 +7,17 @@ import (
 	"os"
 )
 
-// trendMetric names one BenchMetrics field the trend gate watches.
+// trendMetrics names the BenchMetrics JSON keys the trend gate watches.
 // All watched metrics are higher-is-better throughputs; only drops
 // beyond the tolerance fail the gate (improvements always pass — they
-// become the next baseline).
-type trendMetric struct {
-	name string
-	get  func(*BenchMetrics) float64
-}
-
-var trendMetrics = []trendMetric{
-	{"rtl_cycles_per_sec", func(m *BenchMetrics) float64 { return m.RTLCyclesPerSec }},
-	{"fleet_designs_per_sec_j1", func(m *BenchMetrics) float64 { return m.FleetDesignsPerSecJ1 }},
-	{"fleet_designs_per_sec_jn", func(m *BenchMetrics) float64 { return m.FleetDesignsPerSecJN }},
+// become the next baseline). Metrics are looked up by key in the raw
+// documents rather than through struct fields, so a baseline written by
+// an older (or newer) fcv whose metric set drifted is skipped with a
+// warning instead of read as a zero and misjudged.
+var trendMetrics = []string{
+	"rtl_cycles_per_sec",
+	"fleet_designs_per_sec_j1",
+	"fleet_designs_per_sec_jn",
 }
 
 // runTrend is the bench-trend gate: compare the current BENCH_fleet
@@ -42,7 +40,7 @@ func runTrend(args []string, out *os.File) error {
 	if len(rest) != 1 {
 		return fmt.Errorf("trend needs exactly one current metrics file")
 	}
-	cur, err := readBenchMetrics(rest[0])
+	cur, err := readRawMetrics(rest[0])
 	if err != nil {
 		return err
 	}
@@ -50,17 +48,29 @@ func runTrend(args []string, out *os.File) error {
 		fmt.Fprintf(out, "trend: no baseline at %s — nothing to compare, passing\n", *baselinePath)
 		return nil
 	}
-	base, err := readBenchMetrics(*baselinePath)
+	base, err := readRawMetrics(*baselinePath)
 	if err != nil {
 		return err
 	}
 	tol := *tolPct / 100
 	var regressions int
 	fmt.Fprintf(out, "trend: %s vs baseline %s (tolerance ±%.0f%%)\n", rest[0], *baselinePath, *tolPct)
-	for _, tm := range trendMetrics {
-		b, c := tm.get(base), tm.get(cur)
+	for _, name := range trendMetrics {
+		b, bok := base[name]
+		c, cok := cur[name]
+		switch {
+		case !bok && !cok:
+			fmt.Fprintf(out, "  %-26s absent from both files, skipped (metric-key drift)\n", name)
+			continue
+		case !bok:
+			fmt.Fprintf(out, "  %-26s missing from baseline, skipped (metric-key drift)\n", name)
+			continue
+		case !cok:
+			fmt.Fprintf(out, "  %-26s missing from current metrics, skipped (metric-key drift)\n", name)
+			continue
+		}
 		if b <= 0 {
-			fmt.Fprintf(out, "  %-26s baseline empty, skipped\n", tm.name)
+			fmt.Fprintf(out, "  %-26s baseline empty, skipped\n", name)
 			continue
 		}
 		delta := (c - b) / b * 100
@@ -69,7 +79,7 @@ func runTrend(args []string, out *os.File) error {
 			status = "REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(out, "  %-26s %12.1f -> %12.1f  %+7.1f%%  %s\n", tm.name, b, c, delta, status)
+		fmt.Fprintf(out, "  %-26s %12.1f -> %12.1f  %+7.1f%%  %s\n", name, b, c, delta, status)
 	}
 	if regressions > 0 {
 		return fmt.Errorf("%w: %d metric(s) dropped more than %.0f%% below baseline", errTrendRegression, regressions, *tolPct)
@@ -77,15 +87,24 @@ func runTrend(args []string, out *os.File) error {
 	return nil
 }
 
-// readBenchMetrics loads a BENCH_fleet.json-shaped file.
-func readBenchMetrics(path string) (*BenchMetrics, error) {
+// readRawMetrics loads a BENCH_fleet.json-shaped file as a raw
+// key→number map, keeping only numeric fields. The raw form lets the
+// gate distinguish "metric absent" (key drift between tool versions —
+// skip with a warning) from "metric measured as zero".
+func readRawMetrics(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var m BenchMetrics
-	if err := json.Unmarshal(data, &m); err != nil {
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &m, nil
+	m := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			m[k] = f
+		}
+	}
+	return m, nil
 }

@@ -67,6 +67,32 @@ type Finding struct {
 	Margin float64
 	// Detail is a human-readable explanation with numbers.
 	Detail string
+	// ID is the stable finding identity ("check/<name>@<16-hex>"):
+	// rename-invariant because the hex half is the subject's structural
+	// signature (netlist.Signatures), not its name. Filled by the
+	// provenance pass after the battery runs.
+	ID string
+	// Evidence is the structured context behind the finding, filled by
+	// the provenance pass.
+	Evidence Evidence
+}
+
+// Evidence is the structured context of a finding: what the check
+// looked at and what it measured, so run reports can explain a verdict
+// without re-running the battery.
+type Evidence struct {
+	// Devices are the transistors involved (bounded).
+	Devices []string
+	// Nets are the nodes involved, subject first (bounded).
+	Nets []string
+	// Context describes the recognized topology around the subject
+	// (logic family, dynamic/state-ness).
+	Context string
+	// Measured and Threshold are the compared quantities in Unit; for
+	// normalized checks both are margins against 0.
+	Measured, Threshold float64
+	// Unit names the quantity ("margin").
+	Unit string
 }
 
 // Coupling describes extracted coupling capacitance onto a victim node.
@@ -220,6 +246,7 @@ func RunAll(rec *recognize.Result, opt Options) (*Report, error) {
 			m[f.Verdict]++
 		}
 	}
+	attachProvenance(rep.Findings, rec)
 	return rep, nil
 }
 
@@ -236,7 +263,9 @@ func Run(name string, rec *recognize.Result, opt Options) ([]Finding, error) {
 	}
 	for _, b := range battery {
 		if b.name == name {
-			return b.fn(rec, &opt), nil
+			fs := b.fn(rec, &opt)
+			attachProvenance(fs, rec)
+			return fs, nil
 		}
 	}
 	return nil, fmt.Errorf("checks: unknown check %q (known: %v)", name, CheckNames())

@@ -62,6 +62,10 @@ type Options struct {
 	// never changes a verification outcome, so it is deliberately
 	// excluded from cache configuration keys.
 	Trace *obs.Span
+	// Events, when non-nil, receives stage-start/stage-end events for
+	// the live JSONL stream. Like Trace, events never change outcomes
+	// and are excluded from cache keys.
+	Events *obs.EventScope
 	// PprofLabels tags the running goroutine with an fcv_stage pprof
 	// label for the duration of each stage, so CPU profiles attribute
 	// samples to pipeline stages.
@@ -73,12 +77,15 @@ type Options struct {
 // a nil Trace yields nil children whose End is a no-op.
 func (o *Options) stage(name string, fn func()) {
 	sp := o.Trace.Child(name)
+	o.Events.Emit(obs.Event{Type: "stage-start", Stage: name})
 	if o.PprofLabels {
 		pprof.Do(context.Background(), pprof.Labels("fcv_stage", name), func(context.Context) { fn() })
 	} else {
 		fn()
 	}
 	sp.End()
+	o.Trace.Collector().Observe("stage."+name+"_ms", float64(sp.Duration().Microseconds())/1000)
+	o.Events.Emit(obs.Event{Type: "stage-end", Stage: name})
 }
 
 // ResolvedClock returns the clock spec Verify will actually analyze
@@ -230,6 +237,123 @@ func Verify(c *netlist.Circuit, opt Options) (*Report, error) {
 		rep.InspectLoad++
 	}
 	return rep, nil
+}
+
+// Findings assembles the report's non-pass outcomes as provenanced
+// manifest findings, in deterministic order: surviving lint warnings
+// (report order), then check inspects/violations (battery order), then
+// timing setup violations and races (slack order). Each carries the
+// producer's stable rename-invariant ID, so two runs of the same
+// structure yield the same finding set and `fcv diff` can track
+// findings across renames and reorderings.
+func (r *Report) Findings() []obs.Finding {
+	out := LintFindings(r.Lint)
+	if r.Checks != nil {
+		for _, f := range r.Checks.Findings {
+			if f.Verdict == checks.Pass {
+				continue
+			}
+			out = append(out, obs.Finding{
+				ID:       f.ID,
+				Source:   "check",
+				Check:    f.Check,
+				Subject:  f.Subject,
+				Severity: f.Verdict.String(),
+				Margin:   f.Margin,
+				Detail:   f.Detail,
+				Evidence: obs.Evidence{
+					Devices:   f.Evidence.Devices,
+					Nets:      f.Evidence.Nets,
+					Context:   f.Evidence.Context,
+					Measured:  f.Evidence.Measured,
+					Threshold: f.Evidence.Threshold,
+					Unit:      f.Evidence.Unit,
+				},
+			})
+		}
+	}
+	if r.Timing != nil {
+		for _, p := range r.Timing.Paths {
+			if p.SetupSlack >= 0 {
+				continue
+			}
+			out = append(out, timingFinding(r.Timing, &p, "setup"))
+		}
+		for _, p := range r.Timing.Races {
+			out = append(out, timingFinding(r.Timing, &p, "hold"))
+		}
+	}
+	return out
+}
+
+// LintFindings converts a lint report's unwaived, non-info diagnostics
+// into manifest findings under their stable lint rule IDs. A nil report
+// yields nil. Shared by Report.Findings (surviving warnings on a
+// verified design) and the fleet (the gate's own diagnostics when it
+// aborts verification).
+func LintFindings(rep *lint.Report) []obs.Finding {
+	if rep == nil {
+		return nil
+	}
+	var out []obs.Finding
+	for _, d := range rep.Diags {
+		if d.Waived || d.Severity == lint.Info {
+			continue
+		}
+		out = append(out, obs.Finding{
+			ID:       d.ID,
+			Source:   "lint",
+			Check:    d.Rule,
+			Subject:  d.Subject,
+			Severity: d.Severity.String(),
+			Detail:   d.Message,
+			Evidence: obs.Evidence{
+				Nets:    []string{d.Subject},
+				Context: "cell " + d.Cell,
+				Unit:    "rule",
+			},
+		})
+	}
+	return out
+}
+
+// timingFinding converts one failing path check into a manifest finding.
+func timingFinding(rep *timing.Report, p *timing.Path, kind string) obs.Finding {
+	endpoint := rep.Circuit.NodeName(p.Endpoint)
+	f := obs.Finding{
+		Source:   "timing",
+		Check:    kind,
+		Subject:  endpoint,
+		Severity: "violation",
+		Evidence: obs.Evidence{Unit: "ps"},
+	}
+	route := p.NodesMax
+	if kind == "setup" {
+		f.ID = p.SetupID
+		f.Margin = p.SetupSlack
+		f.Detail = fmt.Sprintf("setup slack %.0f ps at %s", p.SetupSlack, endpoint)
+		f.Evidence.Measured = p.Arrival.Max
+		f.Evidence.Threshold = p.RequiredMax
+	} else {
+		f.ID = p.HoldID
+		f.Margin = p.HoldSlack
+		f.Detail = fmt.Sprintf("hold slack %.0f ps at %s (race)", p.HoldSlack, endpoint)
+		f.Evidence.Measured = p.Arrival.Min
+		f.Evidence.Threshold = p.RequiredMin
+		route = p.NodesMin
+	}
+	for i, id := range route {
+		if i >= 8 {
+			break
+		}
+		f.Evidence.Nets = append(f.Evidence.Nets, rep.Circuit.NodeName(id))
+	}
+	if p.CaptureClock != "" {
+		f.Evidence.Context = "captured by " + p.CaptureClock
+	} else {
+		f.Evidence.Context = "primary output"
+	}
+	return f
 }
 
 // Summary renders the merged report.

@@ -22,6 +22,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/pprof"
@@ -59,10 +60,18 @@ type Options struct {
 	Cache *Cache
 	// Obs, when non-nil, collects run telemetry: a "fleet" root span
 	// with one child span per item (stage sub-spans under each from
-	// core.Verify), deterministic cache counters, and volatile gauges
-	// for queue wait, worker utilization and inflight cache blocking.
-	// Nil costs nothing on the hot path.
+	// core.Verify), deterministic cache counters, duration histograms,
+	// and volatile gauges for queue wait, worker utilization and
+	// inflight cache blocking. Nil costs nothing on the hot path.
 	Obs *obs.Collector
+	// Events, when non-nil, receives the live JSONL event stream:
+	// run-start/run-end at the fleet level and item-start, cache
+	// hit/miss, per-stage, finding and item-end events per item. Per-item
+	// events buffer in obs.EventScopes pre-created in input order, so the
+	// stream's event sequence is deterministic at any worker count (only
+	// the t_ms timestamps vary). The fleet does not Close the sink — the
+	// caller owns its lifetime.
+	Events *obs.EventSink
 	// PprofLabels tags each worker goroutine with the item's name
 	// (fcv_cell) while it verifies, and stage names (fcv_stage) inside
 	// core.Verify, so CPU profiles attribute samples to cells and
@@ -89,6 +98,44 @@ type Result struct {
 	// zero for cache hits). Timing is excluded from the deterministic
 	// report text.
 	Elapsed time.Duration
+}
+
+// VerdictString is the item's manifest verdict: the CBV verdict, or
+// "error" when verification failed.
+func (r *Result) VerdictString() string {
+	if r.Err != nil {
+		return "error"
+	}
+	return r.Report.Verdict.String()
+}
+
+// Findings returns the item's provenanced findings: the CBV report's
+// non-pass outcomes, or — for an errored item — one synthesized
+// "error/verify" finding whose stable ID is derived from the circuit's
+// structural fingerprint (so a renamed copy of a broken deck diffs as
+// the same finding). A lint-gate abort additionally surfaces the gate's
+// own diagnostics, each under its stable lint rule ID, so the manifest
+// records *why* the gate tripped, not just that it did.
+func (r *Result) Findings() []obs.Finding {
+	if r.Err != nil {
+		var gate *core.LintGateError
+		if errors.As(r.Err, &gate) {
+			return core.LintFindings(gate.Report)
+		}
+		return []obs.Finding{{
+			ID:       netlist.StringID("error", "verify", r.Fingerprint.String()),
+			Source:   "error",
+			Check:    "verify",
+			Subject:  r.Name,
+			Severity: "error",
+			Detail:   r.Err.Error(),
+			Evidence: obs.Evidence{Context: "verification aborted"},
+		}}
+	}
+	if r.Report == nil {
+		return nil
+	}
+	return r.Report.Findings()
 }
 
 // Report is the merged outcome of a fleet run.
@@ -141,6 +188,16 @@ func Verify(items []Item, opt Options) *Report {
 	for i := range items {
 		spans[i] = root.Child(items[i].Name)
 	}
+	// Event scopes follow the same pre-creation discipline as spans: one
+	// per item in input order, so the flushed stream is deterministic no
+	// matter which worker finishes first. The worker-count detail is
+	// deliberately not part of run-start — the stream is contractually
+	// identical across -j values.
+	opt.Events.Emit("run-start", fmt.Sprintf("%d items", len(items)))
+	scopes := make([]*obs.EventScope, len(items))
+	for i := range items {
+		scopes[i] = opt.Events.Scope(items[i].Name)
+	}
 	var hits, misses, inflight, busyNS int64
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -151,11 +208,14 @@ func Verify(items []Item, opt Options) *Report {
 			for i := range next {
 				it := items[i]
 				sp := spans[i]
+				sc := scopes[i]
 				wait := sp.Restart()
+				sc.Emit(obs.Event{Type: "item-start"})
 				res := Result{Name: it.Name}
 				t0 := time.Now()
 				copt := opt.Core
 				copt.Trace = sp
+				copt.Events = sc
 				copt.PprofLabels = opt.PprofLabels
 				work := func() {
 					res.Fingerprint = it.Circuit.Fingerprint()
@@ -165,8 +225,10 @@ func Verify(items []Item, opt Options) *Report {
 						res.Cached = !fresh
 						if fresh {
 							atomic.AddInt64(&misses, 1)
+							sc.Emit(obs.Event{Type: "cache-miss", Detail: res.Fingerprint.Short()})
 						} else {
 							atomic.AddInt64(&hits, 1)
+							sc.Emit(obs.Event{Type: "cache-hit", Detail: res.Fingerprint.Short()})
 						}
 						if blocked {
 							atomic.AddInt64(&inflight, 1)
@@ -182,9 +244,15 @@ func Verify(items []Item, opt Options) *Report {
 				}
 				res.Elapsed = time.Since(t0)
 				sp.End()
+				for _, f := range res.Findings() {
+					sc.Emit(obs.Event{Type: "finding", ID: f.ID, Detail: f.Check + ": " + f.Subject})
+				}
+				sc.Emit(obs.Event{Type: "item-end", Detail: res.VerdictString()})
+				sc.Close()
 				if opt.Obs != nil {
 					atomic.AddInt64(&busyNS, int64(res.Elapsed))
 					opt.Obs.AddGauge("fleet.queue_wait_ms", float64(wait.Microseconds())/1000)
+					opt.Obs.Observe("fleet.item_ms", float64(res.Elapsed.Microseconds())/1000)
 				}
 				rep.Results[i] = res
 			}
@@ -198,6 +266,8 @@ func Verify(items []Item, opt Options) *Report {
 	rep.Hits, rep.Misses = int(hits), int(misses)
 	rep.Elapsed = time.Since(start)
 	root.End()
+	pass, inspect, violation, failed := rep.Counts()
+	opt.Events.Emit("run-end", fmt.Sprintf("pass=%d inspect=%d violation=%d error=%d", pass, inspect, violation, failed))
 	if opt.Obs != nil {
 		// Counters are the deterministic half (hit/miss counts are
 		// fixed by singleflight admission for a given corpus); gauges

@@ -74,6 +74,11 @@ type Diag struct {
 	Waived bool
 	// WaiverNote is the justification from the matching waiver entry.
 	WaiverNote string
+	// ID is the stable finding identity ("lint/<rule>@<16-hex>"):
+	// rename-invariant because the hex half is the subject's structural
+	// signature (netlist.Signatures). Structurally symmetric repeats
+	// carry "#n" suffixes in report order.
+	ID string
 }
 
 // Rule is one static check over an analyzed circuit.
@@ -283,7 +288,26 @@ func RunRecognized(rec *recognize.Result, opt Options) *Report {
 	}
 	applyWaivers(diags, opt.Waivers)
 	sortDiags(diags)
+	attachIDs(diags, rec.Circuit)
 	return &Report{Diags: diags}
+}
+
+// attachIDs fills each diagnostic's stable rename-invariant identity
+// after sorting, so "#n" disambiguation of structurally symmetric
+// subjects follows the deterministic report order.
+func attachIDs(diags []Diag, c *netlist.Circuit) {
+	if len(diags) == 0 {
+		return
+	}
+	sigs := netlist.ComputeSignatures(c)
+	ids := make([]string, len(diags))
+	for i, d := range diags {
+		ids[i] = sigs.FindingID("lint", d.Rule, d.Subject)
+	}
+	netlist.DisambiguateIDs(ids)
+	for i := range diags {
+		diags[i].ID = ids[i]
+	}
 }
 
 // applyWaivers marks matching diagnostics as waived.

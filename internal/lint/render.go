@@ -40,6 +40,7 @@ func (r *Report) Text() string {
 
 // jsonDiag is the stable JSON shape of one finding.
 type jsonDiag struct {
+	ID         string `json:"id"`
 	Rule       string `json:"rule"`
 	Severity   string `json:"severity"`
 	Cell       string `json:"cell"`
@@ -65,6 +66,7 @@ func (r *Report) JSON() ([]byte, error) {
 	out.Errors, out.Warnings, out.Infos = r.Counts()
 	for _, d := range r.Diags {
 		out.Findings = append(out.Findings, jsonDiag{
+			ID:         d.ID,
 			Rule:       d.Rule,
 			Severity:   d.Severity.String(),
 			Cell:       d.Cell,

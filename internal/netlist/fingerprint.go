@@ -44,15 +44,20 @@ func (f Fingerprint) Short() string { return hex.EncodeToString(f[:4]) }
 // diameters in real circuits are far smaller).
 const fpRounds = 8
 
-// Fingerprint computes the canonical structural hash. It is invariant
-// under node renaming, device/resistor/instance renaming and element
-// reordering, and sensitive to connectivity, W/L/ExtraL sizing, device
-// type and Vt class, node capacitance and attributes, port-ness, and
-// supply identity. Instance connections hash positionally against the
-// referenced cell name, so hierarchical circuits can be fingerprinted
-// without flattening (two instances of differently-named but identical
-// cells hash differently — flatten first if that distinction matters).
-func (c *Circuit) Fingerprint() Fingerprint {
+// refined holds the converged Weisfeiler-Lehman labels: one canonical
+// hash per node and per element. Fingerprint digests the sorted
+// multisets; Signatures exposes the per-object labels so findings can
+// be identified by *where they are structurally*, not by name.
+type refined struct {
+	node []uint64
+	dev  []uint64
+	res  []uint64
+	inst []uint64
+}
+
+// refine runs the colour-refinement rounds and returns the final
+// labels. This is the shared engine of Fingerprint and Signatures.
+func (c *Circuit) refine() refined {
 	// Initial node labels: electrical invariants only — never the name,
 	// except the canonical supply identity (vdd and vss are global
 	// meanings, not names).
@@ -182,13 +187,30 @@ func (c *Circuit) Fingerprint() Fingerprint {
 		}
 		labels, next = next, labels
 	}
+	return refined{node: labels, dev: devHash, res: resHash, inst: instHash}
+}
+
+// Fingerprint computes the canonical structural hash. It is invariant
+// under node renaming, device/resistor/instance renaming and element
+// reordering, and sensitive to connectivity, W/L/ExtraL sizing, device
+// type and Vt class, node capacitance and attributes, port-ness, and
+// supply identity. Instance connections hash positionally against the
+// referenced cell name, so hierarchical circuits can be fingerprinted
+// without flattening (two instances of differently-named but identical
+// cells hash differently — flatten first if that distinction matters).
+func (c *Circuit) Fingerprint() Fingerprint {
+	r := c.refine()
 
 	// Final digest: element counts plus the sorted label multisets.
-	// Sorting removes any dependence on insertion order.
+	// Sorting removes any dependence on insertion order (the refinement
+	// labels are copied first: Signatures hands them out per object).
+	devHash := append([]uint64(nil), r.dev...)
+	resHash := append([]uint64(nil), r.res...)
+	instHash := append([]uint64(nil), r.inst...)
 	sortU64(devHash)
 	sortU64(resHash)
 	sortU64(instHash)
-	nodeFinal := append([]uint64(nil), labels...)
+	nodeFinal := append([]uint64(nil), r.node...)
 	sortU64(nodeFinal)
 
 	hw := sha256.New()

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one row of the live JSONL event stream (`fcv verify -events`).
+// The deterministic half is everything except TMS: for a given corpus
+// and configuration the sequence of (Seq, Type, Item, Stage, ID,
+// Detail) tuples is byte-identical across runs and worker counts —
+// the same masking contract as the manifest. TMS (milliseconds since
+// the sink opened) is the volatile half.
+type Event struct {
+	// Seq is the event's ordinal in the stream, assigned at write time.
+	Seq int64 `json:"seq"`
+	// TMS is milliseconds since the sink opened (volatile).
+	TMS float64 `json:"t_ms"`
+	// Type is the event kind: run-start, item-start, stage-start,
+	// stage-end, cache-hit, cache-miss, finding, item-end, run-end.
+	Type string `json:"type"`
+	// Item is the corpus item the event belongs to ("" for run-level).
+	Item string `json:"item,omitempty"`
+	// Stage is the pipeline stage for stage-start/stage-end.
+	Stage string `json:"stage,omitempty"`
+	// ID is the stable finding ID for finding events.
+	ID string `json:"id,omitempty"`
+	// Detail is a short human-readable payload (verdict, counts, check).
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventSink streams events as JSON Lines while keeping the stream order
+// deterministic at any worker count: run-level events write through
+// immediately (the driver emits them sequentially), and per-item events
+// buffer in an EventScope and flush in scope-creation order — a scope's
+// events only reach the writer once every earlier scope has closed, the
+// same reorder discipline the fleet uses for its span tree. Events
+// stream live for the head of the input order; a long-running early
+// item delays later items' events but never reorders them.
+//
+// A nil *EventSink (and the nil *EventScope it hands out) accepts every
+// call as a no-op, so event emission can be threaded through options
+// structs unconditionally, like the rest of the package.
+type EventSink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	base    time.Time
+	seq     int64
+	scopes  []*EventScope
+	flushed int // scopes fully written
+	err     error
+}
+
+// NewEventSink returns a sink writing JSONL to w. The caller owns w's
+// lifetime; Close flushes but does not close it.
+func NewEventSink(w io.Writer) *EventSink {
+	return &EventSink{w: w, base: time.Now()}
+}
+
+// Emit writes a run-level event immediately. Call only from the driver
+// goroutine (before scopes are created or after all have closed) or the
+// stream order becomes scheduling-dependent.
+func (s *EventSink) Emit(typ, detail string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.write(Event{TMS: s.now(), Type: typ, Detail: detail})
+	s.mu.Unlock()
+}
+
+// Scope opens a per-item event scope. Scopes flush in the order they
+// were created, so callers must create them in the deterministic input
+// order (the fleet pre-creates one per item, like its spans).
+func (s *EventSink) Scope(item string) *EventScope {
+	if s == nil {
+		return nil
+	}
+	sc := &EventScope{sink: s, item: item}
+	s.mu.Lock()
+	s.scopes = append(s.scopes, sc)
+	s.mu.Unlock()
+	return sc
+}
+
+// Close flushes every remaining scope (closed or not, in order) and
+// returns the first write error. The sink must not be used after.
+func (s *EventSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sc := range s.scopes[s.flushed:] {
+		sc.closed = true
+	}
+	s.drain()
+	return s.err
+}
+
+// now returns milliseconds since the sink opened. Callers hold mu.
+func (s *EventSink) now() float64 { return ms(time.Since(s.base)) }
+
+// write marshals one event with the next sequence number. Callers hold
+// mu. Write errors latch: the first one sticks and later writes no-op.
+func (s *EventSink) write(ev Event) {
+	if s.err != nil {
+		return
+	}
+	ev.Seq = s.seq
+	s.seq++
+	b, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// drain writes the longest prefix of closed scopes. Callers hold mu.
+func (s *EventSink) drain() {
+	for s.flushed < len(s.scopes) && s.scopes[s.flushed].closed {
+		for _, ev := range s.scopes[s.flushed].buf {
+			s.write(ev)
+		}
+		s.scopes[s.flushed].buf = nil
+		s.flushed++
+	}
+}
+
+// EventScope buffers one item's events until its turn in the stream.
+// Emit order within a scope is the caller's responsibility (one worker
+// owns an item at a time, so per-item emission is naturally serial).
+type EventScope struct {
+	sink   *EventSink
+	item   string
+	buf    []Event
+	closed bool
+}
+
+// Emit buffers an event, stamping the item name and emission time.
+func (sc *EventScope) Emit(ev Event) {
+	if sc == nil {
+		return
+	}
+	sc.sink.mu.Lock()
+	ev.Item = sc.item
+	ev.TMS = sc.sink.now()
+	sc.buf = append(sc.buf, ev)
+	sc.sink.mu.Unlock()
+}
+
+// Close marks the scope complete and flushes any scopes (this one
+// included) that are now at the head of the order.
+func (sc *EventScope) Close() {
+	if sc == nil {
+		return
+	}
+	sc.sink.mu.Lock()
+	sc.closed = true
+	sc.sink.drain()
+	sc.sink.mu.Unlock()
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// decodeEvents parses a JSONL buffer back into events.
+func decodeEvents(t *testing.T, b []byte) []Event {
+	t.Helper()
+	var out []Event
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestEventSinkOrder checks the reorder discipline: per-item events
+// flush in scope-creation order no matter which scope closes first.
+func TestEventSinkOrder(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf)
+	s.Emit("run-start", "2 items")
+	a := s.Scope("a")
+	b := s.Scope("b")
+	// b finishes first; its events must still follow a's.
+	b.Emit(Event{Type: "item-start"})
+	b.Emit(Event{Type: "item-end", Detail: "pass"})
+	b.Close()
+	if got := decodeEvents(t, buf.Bytes()); len(got) != 1 {
+		t.Fatalf("b's events leaked ahead of a: %+v", got)
+	}
+	a.Emit(Event{Type: "item-start"})
+	a.Emit(Event{Type: "item-end", Detail: "inspect"})
+	a.Close()
+	s.Emit("run-end", "done")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeEvents(t, buf.Bytes())
+	want := []struct{ typ, item string }{
+		{"run-start", ""},
+		{"item-start", "a"}, {"item-end", "a"},
+		{"item-start", "b"}, {"item-end", "b"},
+		{"run-end", ""},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Type != w.typ || got[i].Item != w.item {
+			t.Errorf("event[%d] = (%s, %q), want (%s, %q)", i, got[i].Type, got[i].Item, w.typ, w.item)
+		}
+		if got[i].Seq != int64(i) {
+			t.Errorf("event[%d].Seq = %d, want %d", i, got[i].Seq, i)
+		}
+	}
+}
+
+// TestEventSinkDeterministicOrder runs concurrent scope producers in
+// random completion order many times; the flushed (type, item) sequence
+// must never change.
+func TestEventSinkDeterministicOrder(t *testing.T) {
+	render := func(seed int64) string {
+		var buf bytes.Buffer
+		s := NewEventSink(&buf)
+		const n = 8
+		scopes := make([]*EventScope, n)
+		for i := range scopes {
+			scopes[i] = s.Scope(fmt.Sprintf("item%d", i))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Perm(n)
+		var wg sync.WaitGroup
+		for _, i := range order {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				scopes[i].Emit(Event{Type: "item-start"})
+				scopes[i].Emit(Event{Type: "item-end"})
+				scopes[i].Close()
+			}(i)
+		}
+		wg.Wait()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, ev := range decodeEvents(t, buf.Bytes()) {
+			fmt.Fprintf(&sb, "%d %s %s\n", ev.Seq, ev.Type, ev.Item)
+		}
+		return sb.String()
+	}
+	want := render(0)
+	for seed := int64(1); seed < 20; seed++ {
+		if got := render(seed); got != want {
+			t.Fatalf("event order changed with completion order:\n--- seed %d ---\n%s--- seed 0 ---\n%s", seed, got, want)
+		}
+	}
+}
+
+// TestEventSinkNilSafe exercises every method on nil receivers.
+func TestEventSinkNilSafe(t *testing.T) {
+	var s *EventSink
+	s.Emit("run-start", "x")
+	sc := s.Scope("a")
+	if sc != nil {
+		t.Error("nil sink handed out a non-nil scope")
+	}
+	sc.Emit(Event{Type: "item-start"})
+	sc.Close()
+	if err := s.Close(); err != nil {
+		t.Errorf("nil sink Close = %v", err)
+	}
+}
+
+// errWriter fails every write.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestEventSinkWriteError latches the first write error into Close.
+func TestEventSinkWriteError(t *testing.T) {
+	s := NewEventSink(errWriter{})
+	s.Emit("run-start", "")
+	sc := s.Scope("a")
+	sc.Emit(Event{Type: "item-start"})
+	sc.Close()
+	if err := s.Close(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("Close = %v, want the latched write error", err)
+	}
+}
+
+// TestEventSinkCloseFlushesOpenScopes ensures Close never drops
+// buffered events even when a scope was left open (an errored item).
+func TestEventSinkCloseFlushesOpenScopes(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf)
+	sc := s.Scope("a")
+	sc.Emit(Event{Type: "item-start"})
+	// no sc.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeEvents(t, buf.Bytes())
+	if len(got) != 1 || got[0].Type != "item-start" || got[0].Item != "a" {
+		t.Errorf("open scope's events lost: %+v", got)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import "sort"
+
+// HistBoundsMS are the fixed duration-histogram bucket upper bounds in
+// milliseconds. They are part of the manifest schema: fixed boundaries
+// keep the histogram *shape* deterministic (same bucket count, same
+// meaning) even though the counts themselves are wall-clock-derived and
+// therefore volatile. Roughly logarithmic from 50µs to 10s; the last
+// implicit bucket is +Inf.
+var HistBoundsMS = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// Histogram is a fixed-bucket duration distribution. Counts has
+// len(HistBoundsMS)+1 entries; Counts[i] tallies observations v with
+// v <= HistBoundsMS[i] (and the final entry everything larger).
+type Histogram struct {
+	Counts []int64 `json:"counts"`
+	// Sum is the total of all observed values (ms).
+	Sum float64 `json:"sum"`
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// inside the holding bucket. The overflow bucket returns its lower
+// bound. Zero on an empty histogram.
+func (h Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = HistBoundsMS[i-1]
+			}
+			if i >= len(HistBoundsMS) {
+				return lo // open-ended overflow bucket
+			}
+			hi := HistBoundsMS[i]
+			frac := 0.5
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return HistBoundsMS[len(HistBoundsMS)-1]
+}
+
+// Observe adds a value (in ms) to a named duration histogram. Like
+// gauges, histograms are the volatile half of the determinism contract:
+// the *set of histogram names* and the bucket layout are deterministic
+// for a workload, the counts are wall-clock-derived. No-op on nil.
+func (c *Collector) Observe(name string, ms float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.hists == nil {
+		c.hists = make(map[string]*Histogram)
+	}
+	h := c.hists[name]
+	if h == nil {
+		h = &Histogram{Counts: make([]int64, len(HistBoundsMS)+1)}
+		c.hists[name] = h
+	}
+	i := sort.SearchFloat64s(HistBoundsMS, ms)
+	h.Counts[i]++
+	h.Sum += ms
+	h.Count++
+	c.mu.Unlock()
+}
+
+// Histograms returns a deep copy of all histograms (nil map on nil c).
+func (c *Collector) Histograms() map[string]Histogram {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Histogram, len(c.hists))
+	for k, h := range c.hists {
+		out[k] = Histogram{
+			Counts: append([]int64(nil), h.Counts...),
+			Sum:    h.Sum,
+			Count:  h.Count,
+		}
+	}
+	return out
+}

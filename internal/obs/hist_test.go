@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestObserveBuckets places values on and around bucket boundaries.
+func TestObserveBuckets(t *testing.T) {
+	c := New()
+	c.Observe("x", 0.05)  // == bound 0 → bucket 0 (v <= bound)
+	c.Observe("x", 0.06)  // bucket 1
+	c.Observe("x", 99999) // overflow bucket
+	h, ok := c.Histograms()["x"]
+	if !ok {
+		t.Fatal("histogram not recorded")
+	}
+	if len(h.Counts) != len(HistBoundsMS)+1 {
+		t.Fatalf("bucket count = %d, want %d", len(h.Counts), len(HistBoundsMS)+1)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[len(h.Counts)-1] != 1 {
+		t.Errorf("bucket placement wrong: %v", h.Counts)
+	}
+	if h.Count != 3 {
+		t.Errorf("Count = %d, want 3", h.Count)
+	}
+	if want := 0.05 + 0.06 + 99999; math.Abs(h.Sum-want) > 1e-9 {
+		t.Errorf("Sum = %g, want %g", h.Sum, want)
+	}
+}
+
+// TestHistogramsDeepCopy mutating the returned copy must not leak back.
+func TestHistogramsDeepCopy(t *testing.T) {
+	c := New()
+	c.Observe("x", 1)
+	got := c.Histograms()["x"]
+	got.Counts[0] = 99
+	if c.Histograms()["x"].Counts[0] == 99 {
+		t.Error("Histograms returned a shared slice")
+	}
+}
+
+// TestObserveNilSafe a nil collector ignores observations.
+func TestObserveNilSafe(t *testing.T) {
+	var c *Collector
+	c.Observe("x", 1)
+	if c.Histograms() != nil {
+		t.Error("nil collector returned histograms")
+	}
+}
+
+// TestQuantile pins the interpolation behaviour.
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %g, want 0", q)
+	}
+	c := New()
+	// 10 observations uniformly inside the (2.5, 5] bucket.
+	for i := 0; i < 10; i++ {
+		c.Observe("x", 3)
+	}
+	h = c.Histograms()["x"]
+	q := h.Quantile(0.5)
+	if q < 2.5 || q > 5 {
+		t.Errorf("Quantile(0.5) = %g, want within (2.5, 5]", q)
+	}
+	// Monotone in q.
+	if h.Quantile(0.9) < h.Quantile(0.1) {
+		t.Error("Quantile not monotone")
+	}
+	// Overflow bucket returns its lower bound.
+	c2 := New()
+	c2.Observe("y", 1e6)
+	h2 := c2.Histograms()["y"]
+	if q := h2.Quantile(0.5); q != HistBoundsMS[len(HistBoundsMS)-1] {
+		t.Errorf("overflow Quantile = %g, want %g", q, HistBoundsMS[len(HistBoundsMS)-1])
+	}
+	// Clamping.
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Error("q clamping broken")
+	}
+}

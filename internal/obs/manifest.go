@@ -9,7 +9,13 @@ import (
 
 // SchemaID identifies the manifest's wire format. Bump only with a
 // schema change; the golden-file test pins the full schema document.
-const SchemaID = "fcv-run-manifest/v1"
+// v2 added per-item finding provenance (stable IDs + evidence) and
+// duration histograms; v1 documents still validate through the compat
+// reader (see ValidateManifest).
+const SchemaID = "fcv-run-manifest/v2"
+
+// SchemaIDV1 is the previous wire format, accepted read-only.
+const SchemaIDV1 = "fcv-run-manifest/v1"
 
 // Manifest is the machine-readable record of one verification or bench
 // run — the "reproducible, machine-readable performance evidence" layer.
@@ -39,6 +45,9 @@ type Manifest struct {
 	Counters map[string]int64 `json:"counters"`
 	// Gauges are named levels (worker utilization, throughput rates).
 	Gauges map[string]float64 `json:"gauges"`
+	// Histograms are fixed-bucket duration distributions (bucket bounds
+	// are HistBoundsMS; counts are volatile, the layout is not).
+	Histograms map[string]Histogram `json:"histograms"`
 	// Verdicts tallies the corpus outcomes.
 	Verdicts VerdictTally `json:"verdicts"`
 }
@@ -55,6 +64,56 @@ type ManifestItem struct {
 	Cached bool `json:"cached"`
 	// ElapsedMS is the item's wall-clock cost (volatile).
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Findings are the item's provenanced non-pass findings in
+	// deterministic order (source, check, subject, ID) — the rows
+	// `fcv diff` tracks across runs by stable ID.
+	Findings []Finding `json:"findings"`
+}
+
+// Finding is one provenanced verification finding: a check, lint or
+// timing result with a stable rename-invariant identity and structured
+// evidence. IDs are "<source>/<check>@<16-hex>" where the hex half is
+// the subject's canonical structural signature (netlist.Signatures)
+// folded with the check identity; structurally symmetric repeats carry
+// "#n" suffixes.
+type Finding struct {
+	// ID is the stable identity findings are diffed by.
+	ID string `json:"id"`
+	// Source is the producing stage: "check", "lint", "timing", "error".
+	Source string `json:"source"`
+	// Check names the individual check, lint rule or timing analysis
+	// ("beta-ratio", "FCV005", "setup", "hold", "verify").
+	Check string `json:"check"`
+	// Subject names the node, device or path endpoint concerned.
+	Subject string `json:"subject"`
+	// Severity is "inspect", "violation", "warn" or "error".
+	Severity string `json:"severity"`
+	// Margin is the normalized safety margin where the producer defines
+	// one (checks battery), else 0.
+	Margin float64 `json:"margin"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail"`
+	// Evidence is the structured context behind the finding.
+	Evidence Evidence `json:"evidence"`
+}
+
+// Evidence is the structured context of a finding: what the tool
+// looked at and what it measured, so reports and diffs can explain a
+// verdict without re-running the pipeline.
+type Evidence struct {
+	// Devices are the names of the transistors involved (bounded).
+	Devices []string `json:"devices"`
+	// Nets are the nodes involved (subject first, bounded).
+	Nets []string `json:"nets"`
+	// Context describes the recognized topology around the subject
+	// (logic family, dynamic/state-ness, capture clock).
+	Context string `json:"context"`
+	// Measured and Threshold are the compared quantities in Unit; for
+	// normalized checks both are margins against 0.
+	Measured  float64 `json:"measured"`
+	Threshold float64 `json:"threshold"`
+	// Unit names the quantity ("margin", "ps", "ratio").
+	Unit string `json:"unit"`
 }
 
 // VerdictTally counts corpus outcomes by verdict.
@@ -70,18 +129,22 @@ type VerdictTally struct {
 // WallMS). Works on a nil collector (empty telemetry).
 func NewManifest(tool, configKey string, c *Collector) *Manifest {
 	m := &Manifest{
-		Schema:    SchemaID,
-		Tool:      tool,
-		ConfigKey: configKey,
-		Stages:    c.Spans(),
-		Counters:  c.Counters(),
-		Gauges:    c.Gauges(),
+		Schema:     SchemaID,
+		Tool:       tool,
+		ConfigKey:  configKey,
+		Stages:     c.Spans(),
+		Counters:   c.Counters(),
+		Gauges:     c.Gauges(),
+		Histograms: c.Histograms(),
 	}
 	if m.Counters == nil {
 		m.Counters = map[string]int64{}
 	}
 	if m.Gauges == nil {
 		m.Gauges = map[string]float64{}
+	}
+	if m.Histograms == nil {
+		m.Histograms = map[string]Histogram{}
 	}
 	if m.Items == nil {
 		m.Items = []ManifestItem{}
@@ -93,8 +156,26 @@ func NewManifest(tool, configKey string, c *Collector) *Manifest {
 }
 
 // JSON marshals the manifest in its canonical indented form, trailing
-// newline included.
+// newline included. Nil slices and maps are normalized to empty so the
+// document always matches the schema's required array/object types.
 func (m *Manifest) JSON() ([]byte, error) {
+	if m.Histograms == nil {
+		m.Histograms = map[string]Histogram{}
+	}
+	for i := range m.Items {
+		if m.Items[i].Findings == nil {
+			m.Items[i].Findings = []Finding{}
+		}
+		for j := range m.Items[i].Findings {
+			ev := &m.Items[i].Findings[j].Evidence
+			if ev.Devices == nil {
+				ev.Devices = []string{}
+			}
+			if ev.Nets == nil {
+				ev.Nets = []string{}
+			}
+		}
+	}
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return nil, err
@@ -181,6 +262,7 @@ var manifestFields = []manifestField{
 	{"stages", "array"},
 	{"counters", "object"},
 	{"gauges", "object"},
+	{"histograms", "object"},
 	{"verdicts", "object"},
 }
 
@@ -190,6 +272,33 @@ var itemFields = []manifestField{
 	{"verdict", "string"},
 	{"cached", "boolean"},
 	{"elapsed_ms", "number"},
+	{"findings", "array"},
+}
+
+var findingFields = []manifestField{
+	{"id", "string"},
+	{"source", "string"},
+	{"check", "string"},
+	{"subject", "string"},
+	{"severity", "string"},
+	{"margin", "number"},
+	{"detail", "string"},
+	{"evidence", "object"},
+}
+
+var evidenceFields = []manifestField{
+	{"devices", "array"},
+	{"nets", "array"},
+	{"context", "string"},
+	{"measured", "number"},
+	{"threshold", "number"},
+	{"unit", "string"},
+}
+
+var histFields = []manifestField{
+	{"counts", "array"},
+	{"sum", "number"},
+	{"count", "integer"},
 }
 
 var stageFields = []manifestField{
@@ -207,6 +316,37 @@ var verdictFields = []manifestField{
 
 var itemVerdicts = map[string]bool{
 	"pass": true, "inspect": true, "violation": true, "error": true,
+}
+
+var findingSources = map[string]bool{
+	"check": true, "lint": true, "timing": true, "error": true,
+}
+
+var findingSeverities = map[string]bool{
+	"inspect": true, "violation": true, "warn": true, "error": true,
+}
+
+// The frozen v1 shape, kept verbatim so old manifests (CI artifacts,
+// committed baselines) stay readable: no histograms, no item findings.
+var manifestFieldsV1 = []manifestField{
+	{"schema", "string"},
+	{"tool", "string"},
+	{"config_key", "string"},
+	{"workers", "integer"},
+	{"wall_ms", "number"},
+	{"items", "array"},
+	{"stages", "array"},
+	{"counters", "object"},
+	{"gauges", "object"},
+	{"verdicts", "object"},
+}
+
+var itemFieldsV1 = []manifestField{
+	{"name", "string"},
+	{"fingerprint", "string"},
+	{"verdict", "string"},
+	{"cached", "boolean"},
+	{"elapsed_ms", "number"},
 }
 
 // SchemaJSON returns the manifest's JSON Schema (draft-07) document,
@@ -233,16 +373,39 @@ func SchemaJSON() []byte {
 		}
 	}
 	intMin0 := map[string]any{"type": "integer", "minimum": 0}
+	enum := func(vals ...string) map[string]any {
+		return map[string]any{"type": "string", "enum": vals}
+	}
+	evidenceSchema := obj(evidenceFields, map[string]any{
+		"devices": map[string]any{"type": "array", "items": map[string]any{"type": "string"}},
+		"nets":    map[string]any{"type": "array", "items": map[string]any{"type": "string"}},
+	})
+	findingSchema := obj(findingFields, map[string]any{
+		"source":   enum("check", "lint", "timing", "error"),
+		"severity": enum("inspect", "violation", "warn", "error"),
+		"evidence": evidenceSchema,
+	})
+	histSchema := obj(histFields, map[string]any{
+		"counts": map[string]any{
+			"type":     "array",
+			"items":    intMin0,
+			"minItems": len(HistBoundsMS) + 1,
+			"maxItems": len(HistBoundsMS) + 1,
+		},
+		"count": intMin0,
+	})
 	doc := obj(manifestFields, map[string]any{
 		"schema":  map[string]any{"type": "string", "const": SchemaID},
 		"workers": intMin0,
 		"wall_ms": map[string]any{"type": "number", "minimum": 0},
 		"items": map[string]any{"type": "array", "items": obj(itemFields, map[string]any{
-			"verdict": map[string]any{"type": "string", "enum": []string{"pass", "inspect", "violation", "error"}},
+			"verdict":  enum("pass", "inspect", "violation", "error"),
+			"findings": map[string]any{"type": "array", "items": findingSchema},
 		})},
-		"stages":   map[string]any{"type": "array", "items": obj(stageFields, map[string]any{"depth": intMin0})},
-		"counters": map[string]any{"type": "object", "additionalProperties": map[string]any{"type": "integer"}},
-		"gauges":   map[string]any{"type": "object", "additionalProperties": map[string]any{"type": "number"}},
+		"stages":     map[string]any{"type": "array", "items": obj(stageFields, map[string]any{"depth": intMin0})},
+		"counters":   map[string]any{"type": "object", "additionalProperties": map[string]any{"type": "integer"}},
+		"gauges":     map[string]any{"type": "object", "additionalProperties": map[string]any{"type": "number"}},
+		"histograms": map[string]any{"type": "object", "additionalProperties": histSchema},
 		"verdicts": obj(verdictFields, map[string]any{
 			"pass": intMin0, "inspect": intMin0, "violation": intMin0, "error": intMin0,
 		}),
@@ -257,20 +420,37 @@ func SchemaJSON() []byte {
 	return append(b, '\n')
 }
 
-// ValidateManifest checks a manifest document against the schema: all
+// ValidateManifest checks a manifest document against its schema: all
 // required fields present with the right types, no unknown fields, the
-// schema identifier current, item verdicts from the enum, and tallies
-// non-negative. It is the `fcv manifest-check` engine.
+// schema identifier known, item verdicts and finding severities from
+// their enums, and tallies non-negative. Both the current v2 shape and
+// the frozen v1 shape are accepted; anything else is rejected with the
+// offending field path named. It is the `fcv manifest-check` engine.
 func ValidateManifest(data []byte) error {
 	var doc map[string]any
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("manifest: not valid JSON: %w", err)
 	}
+	if len(doc) == 0 {
+		return fmt.Errorf("manifest: empty document, missing required field %q", "schema")
+	}
+	id, ok := doc["schema"].(string)
+	if !ok {
+		return fmt.Errorf("manifest: schema: missing or not a string")
+	}
+	switch id {
+	case SchemaID:
+		return validateV2(doc)
+	case SchemaIDV1:
+		return validateV1(doc)
+	}
+	return fmt.Errorf("manifest: schema %q, want %q (or legacy %q)", id, SchemaID, SchemaIDV1)
+}
+
+// validateV2 enforces the current wire format.
+func validateV2(doc map[string]any) error {
 	if err := checkObject("manifest", doc, manifestFields); err != nil {
 		return err
-	}
-	if id := doc["schema"].(string); id != SchemaID {
-		return fmt.Errorf("manifest: schema %q, want %q", id, SchemaID)
 	}
 	for i, el := range doc["items"].([]any) {
 		it, ok := el.(map[string]any)
@@ -282,9 +462,83 @@ func ValidateManifest(data []byte) error {
 			return err
 		}
 		if v := it["verdict"].(string); !itemVerdicts[v] {
-			return fmt.Errorf("manifest: %s: unknown verdict %q", ctx, v)
+			return fmt.Errorf("manifest: %s.verdict: unknown verdict %q", ctx, v)
+		}
+		for j, fel := range it["findings"].([]any) {
+			f, ok := fel.(map[string]any)
+			if !ok {
+				return fmt.Errorf("manifest: %s.findings[%d]: not an object", ctx, j)
+			}
+			fctx := fmt.Sprintf("%s.findings[%d]", ctx, j)
+			if err := checkObject(fctx, f, findingFields); err != nil {
+				return err
+			}
+			if v := f["source"].(string); !findingSources[v] {
+				return fmt.Errorf("manifest: %s.source: unknown source %q", fctx, v)
+			}
+			if v := f["severity"].(string); !findingSeverities[v] {
+				return fmt.Errorf("manifest: %s.severity: unknown severity %q", fctx, v)
+			}
+			ev := f["evidence"].(map[string]any)
+			ectx := fctx + ".evidence"
+			if err := checkObject(ectx, ev, evidenceFields); err != nil {
+				return err
+			}
+			for _, listField := range []string{"devices", "nets"} {
+				for k, s := range ev[listField].([]any) {
+					if !isType(s, "string") {
+						return fmt.Errorf("manifest: %s.%s[%d]: want string", ectx, listField, k)
+					}
+				}
+			}
 		}
 	}
+	for name, hel := range doc["histograms"].(map[string]any) {
+		h, ok := hel.(map[string]any)
+		if !ok {
+			return fmt.Errorf("manifest: histograms[%q]: not an object", name)
+		}
+		hctx := fmt.Sprintf("histograms[%q]", name)
+		if err := checkObject(hctx, h, histFields); err != nil {
+			return err
+		}
+		counts := h["counts"].([]any)
+		if len(counts) != len(HistBoundsMS)+1 {
+			return fmt.Errorf("manifest: %s.counts: %d buckets, want %d", hctx, len(counts), len(HistBoundsMS)+1)
+		}
+		for i, v := range counts {
+			if !isType(v, "integer") || v.(float64) < 0 {
+				return fmt.Errorf("manifest: %s.counts[%d]: want non-negative integer", hctx, i)
+			}
+		}
+	}
+	return validateShared(doc)
+}
+
+// validateV1 enforces the frozen v1 shape (the compat reader).
+func validateV1(doc map[string]any) error {
+	if err := checkObject("manifest", doc, manifestFieldsV1); err != nil {
+		return err
+	}
+	for i, el := range doc["items"].([]any) {
+		it, ok := el.(map[string]any)
+		if !ok {
+			return fmt.Errorf("manifest: items[%d]: not an object", i)
+		}
+		ctx := fmt.Sprintf("items[%d]", i)
+		if err := checkObject(ctx, it, itemFieldsV1); err != nil {
+			return err
+		}
+		if v := it["verdict"].(string); !itemVerdicts[v] {
+			return fmt.Errorf("manifest: %s.verdict: unknown verdict %q", ctx, v)
+		}
+	}
+	return validateShared(doc)
+}
+
+// validateShared checks the parts common to both versions: stages,
+// counters, gauges and the verdict tally.
+func validateShared(doc map[string]any) error {
 	for i, el := range doc["stages"].([]any) {
 		st, ok := el.(map[string]any)
 		if !ok {
@@ -318,6 +572,36 @@ func ValidateManifest(data []byte) error {
 		}
 	}
 	return nil
+}
+
+// ParseManifest validates a manifest document (v2 or legacy v1) and
+// decodes it into the in-memory form. v1 documents come back with
+// empty Findings and Histograms — readable, just without provenance.
+func ParseManifest(data []byte) (*Manifest, error) {
+	if err := ValidateManifest(data); err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if m.Histograms == nil {
+		m.Histograms = map[string]Histogram{}
+	}
+	return &m, nil
+}
+
+// ReadManifestFile loads and parses a manifest from disk.
+func ReadManifestFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ParseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
 }
 
 // checkObject enforces exactly the given fields with the given types.

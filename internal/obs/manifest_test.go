@@ -19,17 +19,35 @@ func sampleManifest() *Manifest {
 	root.End()
 	c.Add("fleet.cache.hits", 1)
 	c.SetGauge("fleet.workers", 2)
+	c.Observe("fleet.item_ms", 1.2)
 	m := NewManifest("fcv verify", "proc=x|clock=5000", c)
 	m.Workers = 2
 	m.WallMS = 1.5
 	m.Items = append(m.Items, ManifestItem{
 		Name:        "cellA",
 		Fingerprint: strings.Repeat("ab", 32),
-		Verdict:     "pass",
+		Verdict:     "inspect",
 		Cached:      false,
 		ElapsedMS:   1.2,
+		Findings: []Finding{{
+			ID:       "check/beta-ratio@00deadbeef00cafe",
+			Source:   "check",
+			Check:    "beta-ratio",
+			Subject:  "out",
+			Severity: "inspect",
+			Margin:   -0.12,
+			Detail:   "beta ratio 4.1 outside [1.5, 3.5]",
+			Evidence: Evidence{
+				Devices:   []string{"MP1", "MN1"},
+				Nets:      []string{"out"},
+				Context:   "static CMOS, driver group of out",
+				Measured:  -0.12,
+				Threshold: 0,
+				Unit:      "margin",
+			},
+		}},
 	})
-	m.Verdicts = VerdictTally{Pass: 1}
+	m.Verdicts = VerdictTally{Inspect: 1}
 	return m
 }
 
@@ -93,22 +111,39 @@ func TestValidateRejects(t *testing.T) {
 		wantErr string
 	}{
 		{"not json", []byte("{truncated"), "not valid JSON"},
-		{"missing field", mutate(func(d map[string]any) { delete(d, "config_key") }), "missing required field"},
-		{"wrong type", mutate(func(d map[string]any) { d["workers"] = "four" }), "want integer"},
+		{"truncated", []byte(`{"schema": "fcv-run-manifest/v2", "tool"`), "not valid JSON"},
+		{"empty file", []byte(""), "not valid JSON"},
+		{"empty object", []byte("{}"), "missing required field \"schema\""},
+		{"missing field", mutate(func(d map[string]any) { delete(d, "config_key") }), "manifest: missing required field \"config_key\""},
+		{"wrong type", mutate(func(d map[string]any) { d["workers"] = "four" }), "manifest.workers: want integer"},
 		{"float counter", mutate(func(d map[string]any) {
 			d["counters"].(map[string]any)["fleet.cache.hits"] = 1.5
-		}), "not an integer"},
+		}), "counters[\"fleet.cache.hits\"]: not an integer"},
 		{"unknown field", mutate(func(d map[string]any) { d["extra"] = 1 }), "unknown field"},
-		{"stale schema id", mutate(func(d map[string]any) { d["schema"] = "fcv-run-manifest/v0" }), "want \"fcv-run-manifest/v1\""},
+		{"stale schema id", mutate(func(d map[string]any) { d["schema"] = "fcv-run-manifest/v0" }), "want \"fcv-run-manifest/v2\" (or legacy \"fcv-run-manifest/v1\")"},
 		{"bad verdict", mutate(func(d map[string]any) {
 			d["items"].([]any)[0].(map[string]any)["verdict"] = "maybe"
-		}), "unknown verdict"},
+		}), "items[0].verdict: unknown verdict"},
 		{"item missing field", mutate(func(d map[string]any) {
 			delete(d["items"].([]any)[0].(map[string]any), "fingerprint")
-		}), "missing required field"},
+		}), "items[0]: missing required field \"fingerprint\""},
 		{"negative tally", mutate(func(d map[string]any) {
 			d["verdicts"].(map[string]any)["pass"] = -1.0
-		}), "negative"},
+		}), "verdicts.pass: negative"},
+		{"finding bad source", mutate(func(d map[string]any) {
+			it := d["items"].([]any)[0].(map[string]any)
+			f := it["findings"].([]any)[0].(map[string]any)
+			f["source"] = "vibes"
+		}), "items[0].findings[0].source: unknown source"},
+		{"finding missing evidence field", mutate(func(d map[string]any) {
+			it := d["items"].([]any)[0].(map[string]any)
+			f := it["findings"].([]any)[0].(map[string]any)
+			delete(f["evidence"].(map[string]any), "unit")
+		}), "items[0].findings[0].evidence: missing required field \"unit\""},
+		{"histogram bucket drift", mutate(func(d map[string]any) {
+			h := d["histograms"].(map[string]any)["fleet.item_ms"].(map[string]any)
+			h["counts"] = []any{1.0, 2.0}
+		}), "histograms[\"fleet.item_ms\"].counts: 2 buckets"},
 	}
 	for _, tc := range cases {
 		err := ValidateManifest(tc.data)
@@ -119,6 +154,77 @@ func TestValidateRejects(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.wantErr) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
 		}
+	}
+}
+
+// TestValidateV1Compat pins the compat reader: a frozen v1-shaped
+// document (no histograms, no per-item findings) must keep validating
+// and parsing, so committed baselines and old CI artifacts stay
+// diffable.
+func TestValidateV1Compat(t *testing.T) {
+	v1 := []byte(`{
+  "schema": "fcv-run-manifest/v1",
+  "tool": "fcv verify",
+  "config_key": "proc=x|clock=5000",
+  "workers": 2,
+  "wall_ms": 1.5,
+  "items": [
+    {
+      "name": "cellA",
+      "fingerprint": "` + strings.Repeat("ab", 32) + `",
+      "verdict": "pass",
+      "cached": false,
+      "elapsed_ms": 1.2
+    }
+  ],
+  "stages": [{"path": "fleet", "depth": 0, "dur_ms": 1.4}],
+  "counters": {"fleet.cache.hits": 1},
+  "gauges": {"fleet.workers": 2},
+  "verdicts": {"pass": 1, "inspect": 0, "violation": 0, "error": 0}
+}`)
+	if err := ValidateManifest(v1); err != nil {
+		t.Fatalf("v1 manifest rejected: %v", err)
+	}
+	m, err := ParseManifest(v1)
+	if err != nil {
+		t.Fatalf("v1 manifest failed to parse: %v", err)
+	}
+	if m.Schema != SchemaIDV1 || len(m.Items) != 1 || m.Items[0].Name != "cellA" {
+		t.Errorf("v1 parse mismatch: %+v", m)
+	}
+	if m.Histograms == nil {
+		t.Error("v1 parse left Histograms nil")
+	}
+	// A v1 document must not smuggle v2 fields past the frozen reader.
+	bad := bytes.Replace(v1, []byte(`"elapsed_ms": 1.2`), []byte(`"elapsed_ms": 1.2, "findings": []`), 1)
+	if err := ValidateManifest(bad); err == nil {
+		t.Error("v1 manifest with v2 field accepted")
+	}
+}
+
+// TestParseManifestRoundTrip writes a v2 manifest and reads it back.
+func TestParseManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	want := sampleManifest()
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ConfigKey != want.ConfigKey || len(got.Items) != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	f := got.Items[0].Findings
+	if len(f) != 1 || f[0].ID != want.Items[0].Findings[0].ID {
+		t.Errorf("findings lost in round trip: %+v", f)
+	}
+	if _, ok := got.Histograms["fleet.item_ms"]; !ok {
+		t.Errorf("histograms lost in round trip: %+v", got.Histograms)
+	}
+	if _, err := ReadManifestFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("reading a missing file succeeded")
 	}
 }
 

@@ -21,13 +21,29 @@
 // telemetry on?" branches and pays nothing when it is off (the
 // BenchmarkNoop* benchmarks pin this at zero allocations).
 //
-// Determinism contract: the *structure* reported — span paths and their
-// order, counter names and values for a deterministic workload — is
-// identical across runs and worker counts. Only durations and gauges
-// derived from wall clock vary. Sibling spans render in creation order,
-// so concurrent span producers (fleet workers) must pre-create their
-// spans in a deterministic order and Restart them at pickup; the fleet
-// driver does exactly that.
+// # Determinism contract
+//
+// The *structure* reported is identical across runs and worker counts
+// for a deterministic workload. Stable fields:
+//
+//   - span paths and their order (siblings render in creation order, so
+//     concurrent span producers — fleet workers — pre-create their spans
+//     in a deterministic order and Restart them at pickup);
+//   - counter names and values (cache hits/misses are fixed by
+//     singleflight admission, never by scheduling);
+//   - the event stream's (type, item, stage, id, detail) sequence:
+//     per-item events buffer in EventScopes and flush in scope-creation
+//     (input) order at any worker count, run-level events are emitted
+//     serially by the driver;
+//   - finding IDs and evidence (derived from circuit structure);
+//   - histogram names and bucket boundaries (HistBoundsMS is fixed).
+//
+// Volatile fields — everything derived from the wall clock: span
+// durations, gauges, event timestamps (t_ms), histogram counts/sums,
+// and per-item elapsed times. Two runs over the same corpus and
+// configuration produce byte-identical manifests and event streams
+// after masking the volatile fields, which is exactly what the
+// masking-based determinism tests assert.
 package obs
 
 import (
@@ -48,6 +64,7 @@ type Collector struct {
 	roots    []*Span
 	counters map[string]int64
 	gauges   map[string]float64
+	hists    map[string]*Histogram
 }
 
 // New returns an empty collector whose span clock starts now.

@@ -73,6 +73,12 @@ type Path struct {
 	// CaptureClock names the clock capturing this endpoint ("" for a
 	// primary output).
 	CaptureClock string
+	// SetupID and HoldID are the stable finding identities for this
+	// endpoint's setup and hold checks ("timing/setup@<16-hex>"):
+	// rename-invariant because the hex half is the endpoint's structural
+	// signature (netlist.Signatures). Diff tooling keys timing
+	// violations on these, so a renamed endpoint is the same finding.
+	SetupID, HoldID string
 }
 
 // Report is the result of a timing run.
@@ -135,7 +141,40 @@ func Analyze(rec *recognize.Result, opt Options) (*Report, error) {
 	rep := &Report{Circuit: a.c, Arcs: a.arcs, Arrival: make(map[netlist.NodeID]Bounds)}
 	a.propagate(rep)
 	a.check(rep)
+	attachPathIDs(rep)
 	return rep, nil
+}
+
+// attachPathIDs fills every path's stable setup/hold finding identities.
+// Paths are already in their deterministic (slack-sorted) order, so the
+// "#n" disambiguation of structurally symmetric endpoints is stable;
+// Races are copies of Paths entries and inherit the IDs by endpoint.
+func attachPathIDs(rep *Report) {
+	if len(rep.Paths) == 0 {
+		return
+	}
+	sigs := netlist.ComputeSignatures(rep.Circuit)
+	setup := make([]string, len(rep.Paths))
+	hold := make([]string, len(rep.Paths))
+	for i, p := range rep.Paths {
+		name := rep.Circuit.NodeName(p.Endpoint)
+		setup[i] = sigs.FindingID("timing", "setup", name)
+		hold[i] = sigs.FindingID("timing", "hold", name)
+	}
+	netlist.DisambiguateIDs(setup)
+	netlist.DisambiguateIDs(hold)
+	byEndpoint := make(map[netlist.NodeID]int, len(rep.Paths))
+	for i := range rep.Paths {
+		rep.Paths[i].SetupID = setup[i]
+		rep.Paths[i].HoldID = hold[i]
+		byEndpoint[rep.Paths[i].Endpoint] = i
+	}
+	for i := range rep.Races {
+		if j, ok := byEndpoint[rep.Races[i].Endpoint]; ok {
+			rep.Races[i].SetupID = rep.Paths[j].SetupID
+			rep.Races[i].HoldID = rep.Paths[j].HoldID
+		}
+	}
 }
 
 // analyzer carries working state for a run.
