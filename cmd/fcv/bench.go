@@ -6,23 +6,31 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/designs"
 	"repro/internal/fleet"
+	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/process"
+	"repro/internal/recognize"
 	"repro/internal/rtl"
+	"repro/internal/switchsim"
+	"repro/internal/timing"
 )
 
 // BenchMetrics is the JSON shape of `fcv bench -out BENCH_fleet.json`:
 // the repo's headline performance numbers in machine-readable form, so
 // CI can archive them per commit.
 type BenchMetrics struct {
-	// GOMAXPROCS records the parallelism the numbers were taken at —
-	// the fleet speedup is bounded by it.
-	GOMAXPROCS int `json:"gomaxprocs"`
+	// GOMAXPROCS records the parallelism available to the run; the
+	// fleet speedup is bounded by it. FleetWorkersJN is the worker
+	// count the -jN measurement actually ran with (the fleet clamps
+	// workers to the corpus size, so the two can differ).
+	GOMAXPROCS     int `json:"gomaxprocs"`
+	FleetWorkersJN int `json:"fleet_workers_jn"`
 	// RTLCyclesPerSec is the switch/RTL simulation throughput of the S1
 	// pipeline workload (the paper's 200 cycles/sec yardstick).
 	RTLCyclesPerSec float64 `json:"rtl_cycles_per_sec"`
@@ -36,18 +44,47 @@ type BenchMetrics struct {
 	// already-verified design (the memoization headline; 100 when every
 	// lookup hits).
 	CacheHitPct float64 `json:"cache_hit_pct"`
+	// DiskColdDesignsPerSec and DiskWarmDesignsPerSec measure the
+	// persistent cache: one run populating an empty cache directory,
+	// then a fresh process-equivalent run replaying from it.
+	// DiskWarmSpeedup is warm/cold — the incremental-verification win.
+	DiskColdDesignsPerSec float64 `json:"disk_cold_designs_per_sec"`
+	DiskWarmDesignsPerSec float64 `json:"disk_warm_designs_per_sec"`
+	DiskWarmSpeedup       float64 `json:"disk_warm_speedup"`
+	// AllocsPerOp* pin the hot kernels' allocation behaviour (the same
+	// workloads as the per-package alloc-regression tests).
+	AllocsFingerprint float64 `json:"allocs_per_op_fingerprint"`
+	AllocsRecognize   float64 `json:"allocs_per_op_recognize"`
+	AllocsTiming      float64 `json:"allocs_per_op_timing"`
+	AllocsSettle      float64 `json:"allocs_per_op_settle"`
 }
 
-// benchZoo is the corpus the fleet numbers are measured over (the S5
-// design zoo).
+// benchZoo is the corpus the fleet numbers are measured over: the S5
+// design zoo swept across sizes so every item has a distinct structural
+// fingerprint. With ~24 members the -jN pass keeps every worker busy
+// long enough for fleet_speedup to measure parallel scaling rather
+// than pool startup.
 func benchZoo() []fleet.Item {
-	return []fleet.Item{
-		{Name: "invchain", Circuit: designs.InverterChain(12)},
-		{Name: "adder16", Circuit: designs.DominoAdder(16)},
-		{Name: "pipeline", Circuit: designs.LatchPipeline(6, false)},
-		{Name: "sram16x8", Circuit: designs.SRAMArray(16, 8, 0.09)},
-		{Name: "passmux8", Circuit: designs.PassMux(8)},
+	var items []fleet.Item
+	add := func(name string, c *netlist.Circuit) {
+		items = append(items, fleet.Item{Name: name, Circuit: c})
 	}
+	for _, n := range []int{8, 12, 16, 24, 32, 48} {
+		add(fmt.Sprintf("invchain%d", n), designs.InverterChain(n))
+	}
+	for _, bits := range []int{8, 12, 16, 20, 24, 32} {
+		add(fmt.Sprintf("adder%d", bits), designs.DominoAdder(bits))
+	}
+	for _, stages := range []int{4, 6, 8, 10, 12, 14} {
+		add(fmt.Sprintf("pipeline%d", stages), designs.LatchPipeline(stages, false))
+	}
+	add("sram8x4", designs.SRAMArray(8, 4, 0.09))
+	add("sram16x8", designs.SRAMArray(16, 8, 0.09))
+	add("sram16x16", designs.SRAMArray(16, 16, 0.09))
+	for _, n := range []int{4, 8, 16} {
+		add(fmt.Sprintf("passmux%d", n), designs.PassMux(n))
+	}
+	return items
 }
 
 // runBench measures the headline metrics in-process and writes them as
@@ -144,7 +181,8 @@ func runBench(args []string, out *os.File) error {
 			o.Obs = nil
 		}
 		tn := time.Now()
-		fleet.Verify(items, o)
+		rep := fleet.Verify(items, o)
+		m.FleetWorkersJN = rep.Workers
 		if rate := float64(len(items)) / time.Since(tn).Seconds(); rate > m.FleetDesignsPerSecJN {
 			m.FleetDesignsPerSecJN = rate
 		}
@@ -152,6 +190,81 @@ func runBench(args []string, out *os.File) error {
 	if m.FleetDesignsPerSecJ1 > 0 {
 		m.FleetSpeedup = m.FleetDesignsPerSecJN / m.FleetDesignsPerSecJ1
 	}
+
+	// Persistent-cache throughput: populate an empty directory cold,
+	// then replay it warm with fresh in-memory state — the same contract
+	// as two fcv processes sharing -cache-dir.
+	diskDir, err := os.MkdirTemp("", "fcv-bench-cache")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(diskDir)
+	for r := 0; r < *reps; r++ {
+		if err := os.RemoveAll(diskDir); err != nil {
+			return err
+		}
+		dc, err := fleet.OpenDiskCache(diskDir)
+		if err != nil {
+			return err
+		}
+		o := opts(1)
+		o.Obs, o.DiskCache = nil, dc
+		t0 := time.Now()
+		fleet.Verify(items, o)
+		if rate := float64(len(items)) / time.Since(t0).Seconds(); rate > m.DiskColdDesignsPerSec {
+			m.DiskColdDesignsPerSec = rate
+		}
+		dcw, err := fleet.OpenDiskCache(diskDir)
+		if err != nil {
+			return err
+		}
+		ow := opts(1)
+		ow.Obs, ow.DiskCache = nil, dcw
+		t0 = time.Now()
+		fleet.Verify(items, ow)
+		if rate := float64(len(items)) / time.Since(t0).Seconds(); rate > m.DiskWarmDesignsPerSec {
+			m.DiskWarmDesignsPerSec = rate
+		}
+	}
+	if m.DiskColdDesignsPerSec > 0 {
+		m.DiskWarmSpeedup = m.DiskWarmDesignsPerSec / m.DiskColdDesignsPerSec
+	}
+
+	// Hot-kernel allocations per op, on the same workloads the
+	// per-package alloc-regression tests pin.
+	fpc := designs.SRAMArray(32, 16, 0)
+	m.AllocsFingerprint = testing.AllocsPerRun(5, func() { fpc.Fingerprint() })
+	rcc := designs.SRAMArray(32, 16, 0)
+	m.AllocsRecognize = testing.AllocsPerRun(5, func() {
+		if _, err := recognize.Analyze(rcc); err != nil {
+			panic(err)
+		}
+	})
+	trec, err := recognize.Analyze(designs.LatchPipeline(6, false))
+	if err != nil {
+		return err
+	}
+	topt := timing.Options{Proc: process.CMOS075(), Clock: timing.TwoPhase(3000)}
+	m.AllocsTiming = testing.AllocsPerRun(5, func() {
+		if _, err := timing.Analyze(trec, topt); err != nil {
+			panic(err)
+		}
+	})
+	ssim, err := switchsim.New(designs.DominoAdder(16))
+	if err != nil {
+		return err
+	}
+	ssim.Settle()
+	si := 0
+	m.AllocsSettle = testing.AllocsPerRun(10, func() {
+		ssim.SetQuiet("phi", switchsim.Lo)
+		ssim.Settle()
+		ssim.SetQuiet("a0", switchsim.Bool(si%2 == 0))
+		ssim.SetQuiet("b0", switchsim.Hi)
+		ssim.SetQuiet("phi", switchsim.Hi)
+		ssim.Settle()
+		si++
+	})
 
 	// Warm-cache hit rate: verify a large SRAM once, then re-verify.
 	sram := []fleet.Item{{Name: "sram64x32", Circuit: designs.SRAMArray(64, 32, 0)}}
@@ -170,6 +283,8 @@ func runBench(args []string, out *os.File) error {
 		col.SetGauge("bench.fleet_designs_per_sec_j1", m.FleetDesignsPerSecJ1)
 		col.SetGauge("bench.fleet_designs_per_sec_jn", m.FleetDesignsPerSecJN)
 		col.SetGauge("bench.cache_hit_pct", m.CacheHitPct)
+		col.SetGauge("bench.disk_cold_designs_per_sec", m.DiskColdDesignsPerSec)
+		col.SetGauge("bench.disk_warm_designs_per_sec", m.DiskWarmDesignsPerSec)
 		mf := buildManifest("fcv bench", coldRep, col)
 		mf.WallMS = float64(time.Since(benchStart).Microseconds()) / 1000
 		if err := mf.WriteFile(*manifestPath); err != nil {
@@ -192,7 +307,7 @@ func runBench(args []string, out *os.File) error {
 	if err := obs.WriteFileAtomic(*outPath, b); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "bench: rtl=%.0f cycles/sec, fleet j1=%.1f jN=%.1f designs/sec (%.2fx), cache hit=%.0f%% -> %s\n",
-		m.RTLCyclesPerSec, m.FleetDesignsPerSecJ1, m.FleetDesignsPerSecJN, m.FleetSpeedup, m.CacheHitPct, *outPath)
+	fmt.Fprintf(out, "bench: rtl=%.0f cycles/sec, fleet j1=%.1f jN=%.1f designs/sec (%.2fx at %d workers), cache hit=%.0f%%, disk warm=%.2fx -> %s\n",
+		m.RTLCyclesPerSec, m.FleetDesignsPerSecJ1, m.FleetDesignsPerSecJN, m.FleetSpeedup, m.FleetWorkersJN, m.CacheHitPct, m.DiskWarmSpeedup, *outPath)
 	return nil
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fleet"
+)
+
+// runCache is the cache subcommand: inspect or shrink a persistent
+// verification result cache directory.
+//
+//	fcv cache stats [-json] [dir]
+//	fcv cache gc -max-bytes N [dir]
+//
+// The directory defaults to $FCV_CACHE_DIR. stats reports the entry
+// count and total bytes; gc evicts least-recently-used entries until
+// the directory fits in -max-bytes (0 empties it). Exit codes: 0 ok,
+// 2 operational failure (no directory given, unreadable directory,
+// missing -max-bytes).
+func runCache(args []string, out *os.File) error {
+	if len(args) < 1 {
+		return fmt.Errorf("cache needs a verb: stats or gc")
+	}
+	verb, args := args[0], args[1:]
+	switch verb {
+	case "stats":
+		fs := flag.NewFlagSet("cache stats", flag.ContinueOnError)
+		asJSON := fs.Bool("json", false, "emit stats as JSON")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		d, err := openCacheDir(fs.Args())
+		if err != nil {
+			return err
+		}
+		st, err := d.Stats()
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			b, err := json.MarshalIndent(st, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, string(b))
+			return nil
+		}
+		fmt.Fprintf(out, "cache %s: %d entries, %d bytes\n", st.Dir, st.Entries, st.Bytes)
+		return nil
+
+	case "gc":
+		fs := flag.NewFlagSet("cache gc", flag.ContinueOnError)
+		maxBytes := fs.Int64("max-bytes", -1, "evict LRU entries until the cache fits this many bytes (0 = empty it)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *maxBytes < 0 {
+			return fmt.Errorf("cache gc needs -max-bytes")
+		}
+		d, err := openCacheDir(fs.Args())
+		if err != nil {
+			return err
+		}
+		removed, freed, err := d.GC(*maxBytes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cache %s: evicted %d entries, freed %d bytes\n", d.Dir(), removed, freed)
+		return nil
+	}
+	return fmt.Errorf("cache: unknown verb %q (want stats or gc)", verb)
+}
+
+// openCacheDir resolves the cache directory from the remaining
+// arguments or $FCV_CACHE_DIR. Unlike OpenDiskCache it refuses to
+// create the directory: inspecting a cache should not conjure one.
+func openCacheDir(rest []string) (*fleet.DiskCache, error) {
+	dir := os.Getenv("FCV_CACHE_DIR")
+	if len(rest) > 0 {
+		dir = rest[0]
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("cache: no directory (give one or set FCV_CACHE_DIR)")
+	}
+	if info, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	} else if !info.IsDir() {
+		return nil, fmt.Errorf("cache: %s is not a directory", dir)
+	}
+	return fleet.OpenDiskCache(dir)
+}

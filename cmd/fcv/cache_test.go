@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// TestVerifyCacheDirEndToEnd: two verify runs sharing -cache-dir — the
+// second replays every result from disk and its manifest carries the
+// disk-hit counters the CI warm-cache gate asserts on.
+func TestVerifyCacheDirEndToEnd(t *testing.T) {
+	deck := writeDeck(t, invDeck)
+	dir := t.TempDir()
+	m1 := filepath.Join(t.TempDir(), "cold.json")
+	m2 := filepath.Join(t.TempDir(), "warm.json")
+	if err := run("verify", []string{"-quiet", "-cache-dir", dir, "-manifest", m1, deck}); err != nil {
+		t.Fatalf("cold verify: %v", err)
+	}
+	if err := run("verify", []string{"-quiet", "-cache-dir", dir, "-manifest", m2, deck}); err != nil {
+		t.Fatalf("warm verify: %v", err)
+	}
+	cold, err := obs.ReadManifestFile(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := obs.ReadManifestFile(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Counters["fleet.diskcache.miss"] != 1 || cold.Counters["fleet.diskcache.hit"] != 0 {
+		t.Errorf("cold counters: %v", cold.Counters)
+	}
+	if warm.Counters["fleet.diskcache.hit"] != 1 || warm.Counters["fleet.diskcache.miss"] != 0 {
+		t.Errorf("warm counters: %v", warm.Counters)
+	}
+	// The warm manifest's corpus half is identical to the cold one's
+	// modulo the documented volatile fields.
+	if len(warm.Items) != len(cold.Items) {
+		t.Fatalf("item count %d vs %d", len(warm.Items), len(cold.Items))
+	}
+	for i := range warm.Items {
+		w, c := warm.Items[i], cold.Items[i]
+		if w.Name != c.Name || w.Fingerprint != c.Fingerprint || w.Verdict != c.Verdict {
+			t.Errorf("item %d differs: %+v vs %+v", i, w, c)
+		}
+		if len(w.Findings) != len(c.Findings) {
+			t.Fatalf("item %d: %d findings warm, %d cold", i, len(w.Findings), len(c.Findings))
+		}
+		for j := range w.Findings {
+			if w.Findings[j].ID != c.Findings[j].ID {
+				t.Errorf("item %d finding %d: %s vs %s", i, j, w.Findings[j].ID, c.Findings[j].ID)
+			}
+		}
+	}
+	if warm.Verdicts != cold.Verdicts {
+		t.Errorf("verdict tallies differ: %+v vs %+v", warm.Verdicts, cold.Verdicts)
+	}
+}
+
+// TestVerifyCacheDirEnvFallback: FCV_CACHE_DIR enables the persistent
+// layer when -cache-dir is absent.
+func TestVerifyCacheDirEnvFallback(t *testing.T) {
+	deck := writeDeck(t, invDeck)
+	dir := t.TempDir()
+	t.Setenv("FCV_CACHE_DIR", dir)
+	if err := run("verify", []string{"-quiet", deck}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	d, err := fleet.OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 {
+		t.Errorf("env-configured cache holds %d entries, want 1", st.Entries)
+	}
+}
+
+// TestCacheSubcommand pins the stats/gc surface and its exit-code
+// contract (errors out of run() become exit 2 in main).
+func TestCacheSubcommand(t *testing.T) {
+	deck := writeDeck(t, invDeck)
+	dir := t.TempDir()
+	if err := run("verify", []string{"-quiet", "-cache-dir", dir, deck}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	t.Setenv("FCV_CACHE_DIR", "")
+
+	if err := run("cache", []string{"stats", dir}); err != nil {
+		t.Errorf("cache stats: %v", err)
+	}
+	// JSON stats round-trip through the exported DiskStats shape.
+	outFile, err := os.CreateTemp(t.TempDir(), "stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runCache([]string{"stats", "-json", dir}, outFile); err != nil {
+		t.Fatalf("cache stats -json: %v", err)
+	}
+	outFile.Close()
+	raw, err := os.ReadFile(outFile.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st fleet.DiskStats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("stats -json output not valid JSON: %v\n%s", err, raw)
+	}
+	if st.Entries != 1 || st.Bytes == 0 {
+		t.Errorf("stats -json: %+v", st)
+	}
+
+	if err := run("cache", []string{"gc", "-max-bytes", "0", dir}); err != nil {
+		t.Errorf("cache gc: %v", err)
+	}
+	d, _ := fleet.OpenDiskCache(dir)
+	if st2, _ := d.Stats(); st2.Entries != 0 {
+		t.Errorf("gc -max-bytes 0 left %d entries", st2.Entries)
+	}
+
+	// Operational failures: missing verb, unknown verb, no directory,
+	// nonexistent directory, missing -max-bytes. None are findings, so
+	// isFindings must be false (exit 2, not 1).
+	for _, bad := range [][]string{
+		nil,
+		{"prune"},
+		{"stats"},
+		{"stats", filepath.Join(dir, "nosuch")},
+		{"gc", dir},
+	} {
+		err := run("cache", bad)
+		if err == nil {
+			t.Errorf("cache %v accepted", bad)
+		} else if isFindings(err) {
+			t.Errorf("cache %v classified as findings: %v", bad, err)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 //	fcv trend -baseline b.json m.json  # fail on throughput regression past tolerance
 //	fcv diff <base.json> <cur.json>    # new/fixed/changed findings between two manifests
 //	fcv report [-html] <m.json>        # render a manifest as a human-readable run report
+//	fcv cache stats|gc <dir>           # inspect or shrink a persistent result cache
 //
 // verify is the fleet driver: it accepts several decks (and, with
 // -cells, every cell of each deck as its own corpus member), verifies
@@ -24,8 +25,12 @@
 // 1 when any design is in violation or errors, 2 on operational
 // failure:
 //
-//	fcv verify [-j N] [-cells] [-cache] [-lint] [-quiet] [-manifest m.json] [-events e.jsonl] [-trace] [-pprof-labels] <deck.sp>... [top]
+//	fcv verify [-j N] [-cells] [-cache] [-cache-dir d] [-lint] [-quiet] [-manifest m.json] [-events e.jsonl] [-trace] [-pprof-labels] <deck.sp>... [top]
 //
+// -cache-dir (default $FCV_CACHE_DIR) layers a persistent result cache
+// under the in-memory one: results keyed by (structural fingerprint,
+// config key, cache format version) survive across runs, so re-verifying
+// an unchanged corpus replays from disk instead of recomputing;
 // -manifest writes the machine-readable run manifest (schema
 // fcv-run-manifest/v2: config key, fingerprints, per-item provenanced
 // findings with stable IDs, per-stage durations, counters, duration
@@ -104,7 +109,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|lint|recog|checks|timing|layout|cbc|sim|power|bench|manifest-check|trend> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|lint|recog|checks|timing|layout|cbc|sim|power|bench|manifest-check|trend|diff|report|cache> [args]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -208,6 +213,9 @@ func run(cmd string, args []string) error {
 
 	case "report":
 		return runReport(args, os.Stdout)
+
+	case "cache":
+		return runCache(args, os.Stdout)
 	}
 
 	// Netlist-based subcommands.
@@ -308,6 +316,7 @@ func runVerify(args []string, proc *process.Process, period float64, out *os.Fil
 	workers := fs.Int("j", 0, "parallel verification workers (0 = GOMAXPROCS)")
 	cells := fs.Bool("cells", false, "verify every cell of each deck, not just the top")
 	useCache := fs.Bool("cache", true, "memoize results under structural fingerprints")
+	cacheDir := fs.String("cache-dir", os.Getenv("FCV_CACHE_DIR"), "persistent result cache directory (default $FCV_CACHE_DIR; empty = off)")
 	quiet := fs.Bool("quiet", false, "suppress per-design timing breakdown")
 	manifestPath := fs.String("manifest", "", "write a run-manifest JSON (schema "+obs.SchemaID+") to this path")
 	eventsPath := fs.String("events", "", "stream live JSONL events (stage/finding/cache) to this path")
@@ -373,6 +382,13 @@ func runVerify(args []string, proc *process.Process, period float64, out *os.Fil
 	}
 	if *useCache {
 		opt.Cache = fleet.NewCache()
+	}
+	if *cacheDir != "" {
+		d, err := fleet.OpenDiskCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.DiskCache = d
 	}
 	var col *obs.Collector
 	if *manifestPath != "" || *trace {

@@ -48,6 +48,17 @@ func cacheHitRatio(m *obs.Manifest) (float64, bool) {
 	return float64(hits) / float64(hits+misses), true
 }
 
+// diskHitRatio is cacheHitRatio for the persistent layer: disk hits
+// over disk lookups, present only when verify ran with a -cache-dir.
+func diskHitRatio(m *obs.Manifest) (float64, bool) {
+	hits := m.Counters["fleet.diskcache.hit"]
+	misses := m.Counters["fleet.diskcache.miss"]
+	if hits+misses == 0 {
+		return 0, false
+	}
+	return float64(hits) / float64(hits+misses), true
+}
+
 // slowestItems returns up to n items by descending elapsed time.
 func slowestItems(m *obs.Manifest, n int) []obs.ManifestItem {
 	items := append([]obs.ManifestItem(nil), m.Items...)
@@ -119,6 +130,11 @@ func renderTextReport(m *obs.Manifest, topN int, w io.Writer) {
 	if ratio, ok := cacheHitRatio(m); ok {
 		fmt.Fprintf(w, "  cache: %.0f%% hit ratio (%d hits, %d misses)\n",
 			ratio*100, m.Counters["fleet.cache.hits"], m.Counters["fleet.cache.misses"])
+	}
+	if ratio, ok := diskHitRatio(m); ok {
+		fmt.Fprintf(w, "  disk cache: %.0f%% hit ratio (%d hits, %d misses, %d corrupt)\n",
+			ratio*100, m.Counters["fleet.diskcache.hit"], m.Counters["fleet.diskcache.miss"],
+			m.Counters["fleet.diskcache.corrupt"])
 	}
 
 	slow := slowestItems(m, topN)
@@ -204,6 +220,9 @@ th{border-bottom:1px solid #888}
 		m.Verdicts.Pass, m.Verdicts.Inspect, m.Verdicts.Violation, m.Verdicts.Error)
 	if ratio, ok := cacheHitRatio(m); ok {
 		fmt.Fprintf(w, " · cache hit ratio %.0f%%", ratio*100)
+	}
+	if ratio, ok := diskHitRatio(m); ok {
+		fmt.Fprintf(w, " · disk hit ratio %.0f%%", ratio*100)
 	}
 	fmt.Fprint(w, "</p>\n")
 

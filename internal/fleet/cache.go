@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Cache memoizes core.Verify outcomes keyed on structural fingerprint
@@ -44,6 +45,15 @@ type cacheEntry struct {
 	opt     core.Options
 	rep     *core.Report
 	err     error
+
+	// Disk-layer outcome, set inside the once when a DiskCache was
+	// attached: how the disk lookup went, how many entries the write
+	// evicted, and — on a disk hit — the stored findings (rep is then a
+	// skeleton that cannot recompute them).
+	disk        diskOutcome
+	diskWrote   bool
+	diskEvicted int
+	findings    []obs.Finding
 }
 
 // NewCache returns an empty verification cache.
@@ -58,12 +68,20 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// verify returns the memoized outcome for the circuit, running
-// core.Verify under the entry's once on first sight of the key. fresh
-// is true for the single caller whose lookup created the entry — the
-// run's miss; every other caller is a hit. inflight is true for hits
-// that arrived before the verification finished and had to block on it.
-func (c *Cache) verify(fp netlist.Fingerprint, cfg string, circuit *netlist.Circuit, opt core.Options) (rep *core.Report, err error, fresh, inflight bool) {
+// verify returns the memoized entry for the circuit, resolving it
+// under the entry's once on first sight of the key. fresh is true for
+// the single caller whose lookup created the entry — the run's miss;
+// every other caller is a hit. inflight is true for hits that arrived
+// before the resolution finished and had to block on it.
+//
+// When disk is non-nil the once body consults the persistent layer
+// first: a disk hit replays the stored outcome without running
+// core.Verify at all; a disk miss verifies fresh and stores the result
+// (errored outcomes are never persisted — a transient failure should
+// not poison future runs). Because the disk I/O happens inside the
+// once, per-key disk hit/miss counts stay singleflight-deterministic
+// at any worker count, exactly like the memory layer's.
+func (c *Cache) verify(fp netlist.Fingerprint, cfg string, circuit *netlist.Circuit, opt core.Options, disk *DiskCache) (e *cacheEntry, fresh, inflight bool) {
 	key := cacheKey{fp: fp, cfg: cfg}
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -75,9 +93,25 @@ func (c *Cache) verify(fp netlist.Fingerprint, cfg string, circuit *netlist.Circ
 	c.mu.Unlock()
 	inflight = !fresh && !e.done.Load()
 	e.once.Do(func() {
-		e.rep, e.err = core.Verify(e.circuit, e.opt)
+		if disk != nil {
+			if ent, out := disk.load(fp, cfg); out == diskHit {
+				e.rep = ent.report()
+				e.findings = ent.Findings
+				e.disk = diskHit
+			} else {
+				e.disk = out
+			}
+		}
+		if e.rep == nil {
+			e.rep, e.err = core.Verify(e.circuit, e.opt)
+			if disk != nil && e.err == nil {
+				var serr error
+				e.diskEvicted, serr = disk.store(fp, cfg, e.rep)
+				e.diskWrote = serr == nil
+			}
+		}
 		e.circuit, e.opt = nil, core.Options{} // release the inputs
 		e.done.Store(true)
 	})
-	return e.rep, e.err, fresh, inflight
+	return e, fresh, inflight
 }

@@ -1,0 +1,311 @@
+// Persistent on-disk result cache: the cross-run half of the fleet's
+// memoization.
+//
+// The in-memory Cache makes repeated structures within one run free;
+// the DiskCache makes repeated *runs* free. Entries are content
+// addressed — the file name is a hash of (format version, structural
+// fingerprint, configuration key) — so invalidation is by key
+// construction exactly like the memory cache: an edited circuit moves
+// its fingerprint, a changed process model or lint setup moves the
+// config key, and a new cache format version orphans every old entry.
+// Stale entries are never looked up again and are reclaimed by the
+// size-bounded LRU GC, not by any explicit invalidation step.
+//
+// Robustness contract: a cache directory is advisory state. Loads
+// tolerate truncated, corrupt, mismatched or concurrently-rewritten
+// entries by treating them as misses (and deleting the bad file);
+// writes are atomic (temp + fsync + rename) so a reader never observes
+// a partial entry; two processes sharing one directory race only on
+// whole files, which rename makes safe.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checks"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/timing"
+)
+
+// DiskCacheVersion identifies the entry format AND the verification
+// semantics that produced it. Bump it whenever the pipeline's outcomes
+// can change for an unchanged (fingerprint, config) pair — a new check,
+// a fixed delay model — and every stale entry becomes unreachable.
+const DiskCacheVersion = "fcv-diskcache/v1"
+
+// DiskCache is a persistent verification result cache rooted at one
+// directory. Safe for concurrent use within a process and between
+// processes sharing the directory. The zero value is not usable;
+// construct with OpenDiskCache.
+type DiskCache struct {
+	dir      string
+	maxBytes int64 // automatic post-write GC threshold; 0 = unbounded
+
+	// Lifetime tallies (since open), surfaced by Stats and `fcv cache`.
+	hits, misses, writes, evicts, corrupts atomic.Int64
+
+	gcMu sync.Mutex // serializes GC scans within the process
+}
+
+// OpenDiskCache opens (creating if needed) a cache directory.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if dir == "" {
+		return nil, errors.New("fleet: empty disk cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: open disk cache: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// SetMaxBytes bounds the cache: after every write exceeding the bound,
+// least-recently-used entries are evicted until the total fits. Zero
+// (the default) disables automatic eviction; GC can still be invoked
+// explicitly.
+func (d *DiskCache) SetMaxBytes(n int64) { d.maxBytes = n }
+
+// diskEntry is the serialized verification outcome. It stores the
+// summary the fleet's consumers read — verdict, inspect load, timing
+// numbers, provenanced findings — not the full object graph (a
+// core.Report holds the whole recognized circuit); loadReport rebuilds
+// a skeleton sufficient for report text, manifests and diffs.
+type diskEntry struct {
+	Version     string        `json:"version"`
+	Fingerprint string        `json:"fingerprint"`
+	ConfigKey   string        `json:"config_key"`
+	Design      string        `json:"design"`
+	Verdict     int           `json:"verdict"`
+	VerdictName string        `json:"verdict_name"`
+	InspectLoad int           `json:"inspect_load"`
+	MinPeriodPS float64       `json:"min_period_ps"`
+	Races       int           `json:"races"`
+	Paths       int           `json:"paths"`
+	Findings    []obs.Finding `json:"findings"`
+}
+
+// report rebuilds the skeletal core.Report for a disk hit: every field
+// the fleet's deterministic outputs consume (Report.Text, Counts,
+// HasViolations, manifests). Stage-level detail (Recognition, Checks,
+// Lint, per-path timing) is deliberately absent — consumers needing it
+// must verify fresh, without a disk cache.
+func (e *diskEntry) report() *core.Report {
+	return &core.Report{
+		Design:      e.Design,
+		Verdict:     checks.Verdict(e.Verdict),
+		InspectLoad: e.InspectLoad,
+		Timing: &timing.Report{
+			MinPeriodPS: e.MinPeriodPS,
+			Races:       make([]timing.Path, e.Races),
+			Paths:       make([]timing.Path, e.Paths),
+		},
+	}
+}
+
+// entryPath is the content address: sha256 over version, fingerprint
+// and config key, fanned out over 256 subdirectories.
+func (d *DiskCache) entryPath(fp netlist.Fingerprint, cfg string) string {
+	h := sha256.New()
+	h.Write([]byte(DiskCacheVersion))
+	h.Write([]byte{0})
+	h.Write(fp[:])
+	h.Write([]byte{0})
+	h.Write([]byte(cfg))
+	name := hex.EncodeToString(h.Sum(nil))
+	return filepath.Join(d.dir, name[:2], name[2:]+".json")
+}
+
+// diskOutcome classifies one load. The zero value means no disk layer
+// was consulted (memory-only caching).
+type diskOutcome int
+
+const (
+	diskNone diskOutcome = iota
+	diskHit
+	diskMiss
+	// diskCorrupt is a miss caused by an unreadable, truncated or
+	// mismatched entry; the bad file has been evicted.
+	diskCorrupt
+)
+
+// load fetches the entry for (fp, cfg). A hit refreshes the entry's
+// mtime so GC's LRU ordering tracks use, not just creation.
+func (d *DiskCache) load(fp netlist.Fingerprint, cfg string) (*diskEntry, diskOutcome) {
+	path := d.entryPath(fp, cfg)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			d.misses.Add(1)
+			return nil, diskMiss
+		}
+		d.corrupts.Add(1)
+		os.Remove(path)
+		return nil, diskCorrupt
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Version != DiskCacheVersion ||
+		e.Fingerprint != fp.String() ||
+		e.ConfigKey != cfg {
+		// Truncated write, foreign format, version skew, or a hash
+		// collision across keys: all are treated as "this entry does
+		// not exist" and the file is reclaimed.
+		d.corrupts.Add(1)
+		os.Remove(path)
+		return nil, diskCorrupt
+	}
+	d.hits.Add(1)
+	now := time.Now()
+	os.Chtimes(path, now, now) // best effort: LRU recency
+	return &e, diskHit
+}
+
+// store persists a completed verification outcome and, when a size
+// bound is set, evicts LRU entries to honor it. Returns the eviction
+// count. Errors are advisory — a failed store leaves the cache exactly
+// as it was.
+func (d *DiskCache) store(fp netlist.Fingerprint, cfg string, rep *core.Report) (evicted int, err error) {
+	e := diskEntry{
+		Version:     DiskCacheVersion,
+		Fingerprint: fp.String(),
+		ConfigKey:   cfg,
+		Design:      rep.Design,
+		Verdict:     int(rep.Verdict),
+		VerdictName: rep.Verdict.String(),
+		InspectLoad: rep.InspectLoad,
+		Findings:    rep.Findings(),
+	}
+	if rep.Timing != nil {
+		e.MinPeriodPS = rep.Timing.MinPeriodPS
+		e.Races = len(rep.Timing.Races)
+		e.Paths = len(rep.Timing.Paths)
+	}
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: disk cache marshal: %w", err)
+	}
+	path := d.entryPath(fp, cfg)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return 0, fmt.Errorf("fleet: disk cache store: %w", err)
+	}
+	if err := obs.WriteFileAtomic(path, data); err != nil {
+		return 0, fmt.Errorf("fleet: disk cache store: %w", err)
+	}
+	d.writes.Add(1)
+	if d.maxBytes > 0 {
+		evicted, _, _ = d.GC(d.maxBytes)
+	}
+	return evicted, nil
+}
+
+// diskFile is one entry in a GC/Stats scan.
+type diskFile struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// scan lists every entry file under the cache root.
+func (d *DiskCache) scan() ([]diskFile, error) {
+	var files []diskFile
+	err := filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		info, ierr := de.Info()
+		if ierr != nil {
+			return nil // raced with an eviction: skip
+		}
+		files = append(files, diskFile{path: path, size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	return files, err
+}
+
+// GC evicts least-recently-used entries until the cache's total size
+// is at most maxBytes (0 removes everything). Returns the number of
+// entries removed and the bytes freed.
+func (d *DiskCache) GC(maxBytes int64) (removed int, freed int64, err error) {
+	d.gcMu.Lock()
+	defer d.gcMu.Unlock()
+	files, err := d.scan()
+	if err != nil {
+		return 0, 0, fmt.Errorf("fleet: disk cache gc: %w", err)
+	}
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	if total <= maxBytes {
+		return 0, 0, nil
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].path < files[j].path
+	})
+	for _, f := range files {
+		if total <= maxBytes {
+			break
+		}
+		if rmErr := os.Remove(f.path); rmErr != nil {
+			continue // another process got it first
+		}
+		total -= f.size
+		freed += f.size
+		removed++
+		d.evicts.Add(1)
+	}
+	return removed, freed, nil
+}
+
+// DiskStats is a point-in-time view of a cache directory plus the
+// lifetime traffic tallies of this DiskCache handle.
+type DiskStats struct {
+	Dir     string `json:"dir"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+	Hits    int64  `json:"hits"`
+	Misses  int64  `json:"misses"`
+	Writes  int64  `json:"writes"`
+	Evicts  int64  `json:"evicts"`
+	Corrupt int64  `json:"corrupt"`
+}
+
+// Stats scans the directory and reports entry count, total bytes and
+// the handle's lifetime hit/miss/write/evict/corrupt counts.
+func (d *DiskCache) Stats() (DiskStats, error) {
+	files, err := d.scan()
+	if err != nil {
+		return DiskStats{}, fmt.Errorf("fleet: disk cache stats: %w", err)
+	}
+	st := DiskStats{
+		Dir:     d.dir,
+		Entries: len(files),
+		Hits:    d.hits.Load(),
+		Misses:  d.misses.Load(),
+		Writes:  d.writes.Load(),
+		Evicts:  d.evicts.Load(),
+		Corrupt: d.corrupts.Load(),
+	}
+	for _, f := range files {
+		st.Bytes += f.size
+	}
+	return st, nil
+}

@@ -58,6 +58,12 @@ type Options struct {
 	// and runs keyed on structural fingerprint + configuration. Items
 	// with identical structure verify once.
 	Cache *Cache
+	// DiskCache, when non-nil, adds the persistent cross-run layer:
+	// each in-memory miss consults the cache directory before running
+	// core.Verify, and stores its result after. When Cache is nil a
+	// run-local one is created automatically — the disk layer requires
+	// singleflight admission to keep its hit/miss counts deterministic.
+	DiskCache *DiskCache
 	// Obs, when non-nil, collects run telemetry: a "fleet" root span
 	// with one child span per item (stage sub-spans under each from
 	// core.Verify), deterministic cache counters, duration histograms,
@@ -86,9 +92,16 @@ type Result struct {
 	// Fingerprint is the circuit's structural hash (zero if the report
 	// errored before fingerprinting, which cannot currently happen).
 	Fingerprint netlist.Fingerprint
-	// Cached reports the result came from the cache rather than a fresh
-	// core.Verify run.
+	// Cached reports the result came from the in-memory cache rather
+	// than this item's own lookup.
 	Cached bool
+	// DiskHit reports the result was replayed from the persistent disk
+	// cache (the Report is then a stored summary: verdict, inspect
+	// load, timing numbers and findings, without stage-level detail).
+	DiskHit bool
+	// stored carries the disk entry's findings on a DiskHit; Findings
+	// returns them instead of recomputing from the skeleton report.
+	stored []obs.Finding
 	// Report is the CBV outcome (nil when Err is set).
 	Report *core.Report
 	// Err is the per-item failure (recognition error, lint gate, …);
@@ -132,6 +145,9 @@ func (r *Result) Findings() []obs.Finding {
 			Evidence: obs.Evidence{Context: "verification aborted"},
 		}}
 	}
+	if r.stored != nil {
+		return r.stored
+	}
 	if r.Report == nil {
 		return nil
 	}
@@ -142,9 +158,14 @@ func (r *Result) Findings() []obs.Finding {
 type Report struct {
 	// Results are per-item outcomes in input order.
 	Results []Result
-	// Hits and Misses count cache outcomes for this run (both zero when
-	// no cache was configured).
+	// Hits and Misses count in-memory cache outcomes for this run (both
+	// zero when no cache was configured).
 	Hits, Misses int
+	// DiskHits and DiskMisses count persistent-layer outcomes (both
+	// zero without a DiskCache). Every in-memory miss is exactly one
+	// disk hit, miss or corrupt-miss; DiskMisses includes the corrupt
+	// ones, which DiskCorrupt also tallies separately.
+	DiskHits, DiskMisses, DiskCorrupt int
 	// Workers is the resolved parallelism.
 	Workers int
 	// Elapsed is the whole run's wall clock.
@@ -198,7 +219,15 @@ func Verify(items []Item, opt Options) *Report {
 	for i := range items {
 		scopes[i] = opt.Events.Scope(items[i].Name)
 	}
+	// The disk layer needs singleflight admission (its hit/miss counts
+	// are per distinct key, not per item): attach a run-local memory
+	// cache when the caller supplied only the persistent one.
+	cache := opt.Cache
+	if cache == nil && opt.DiskCache != nil {
+		cache = NewCache()
+	}
 	var hits, misses, inflight, busyNS int64
+	var dHits, dMisses, dCorrupt, dWrites, dEvicted int64
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -219,13 +248,33 @@ func Verify(items []Item, opt Options) *Report {
 				copt.PprofLabels = opt.PprofLabels
 				work := func() {
 					res.Fingerprint = it.Circuit.Fingerprint()
-					if opt.Cache != nil {
-						var fresh, blocked bool
-						res.Report, res.Err, fresh, blocked = opt.Cache.verify(res.Fingerprint, cfg, it.Circuit, copt)
+					if cache != nil {
+						e, fresh, blocked := cache.verify(res.Fingerprint, cfg, it.Circuit, copt, opt.DiskCache)
+						res.Report, res.Err = e.rep, e.err
 						res.Cached = !fresh
+						res.DiskHit = e.disk == diskHit
+						res.stored = e.findings
 						if fresh {
 							atomic.AddInt64(&misses, 1)
 							sc.Emit(obs.Event{Type: "cache-miss", Detail: res.Fingerprint.Short()})
+							// The disk outcome belongs to the fresh
+							// caller — the one whose lookup ran the once.
+							switch e.disk {
+							case diskHit:
+								atomic.AddInt64(&dHits, 1)
+								sc.Emit(obs.Event{Type: "disk-hit", Detail: res.Fingerprint.Short()})
+							case diskMiss:
+								atomic.AddInt64(&dMisses, 1)
+								sc.Emit(obs.Event{Type: "disk-miss", Detail: res.Fingerprint.Short()})
+							case diskCorrupt:
+								atomic.AddInt64(&dMisses, 1)
+								atomic.AddInt64(&dCorrupt, 1)
+								sc.Emit(obs.Event{Type: "disk-corrupt", Detail: res.Fingerprint.Short()})
+							}
+							if e.diskWrote {
+								atomic.AddInt64(&dWrites, 1)
+							}
+							atomic.AddInt64(&dEvicted, int64(e.diskEvicted))
 						} else {
 							atomic.AddInt64(&hits, 1)
 							sc.Emit(obs.Event{Type: "cache-hit", Detail: res.Fingerprint.Short()})
@@ -264,6 +313,7 @@ func Verify(items []Item, opt Options) *Report {
 	close(next)
 	wg.Wait()
 	rep.Hits, rep.Misses = int(hits), int(misses)
+	rep.DiskHits, rep.DiskMisses, rep.DiskCorrupt = int(dHits), int(dMisses), int(dCorrupt)
 	rep.Elapsed = time.Since(start)
 	root.End()
 	pass, inspect, violation, failed := rep.Counts()
@@ -275,6 +325,16 @@ func Verify(items []Item, opt Options) *Report {
 		opt.Obs.Add("fleet.items", int64(len(items)))
 		opt.Obs.Add("fleet.cache.hits", int64(hits))
 		opt.Obs.Add("fleet.cache.misses", int64(misses))
+		if opt.DiskCache != nil {
+			// Deterministic for a given corpus AND starting cache-dir
+			// state: singleflight admission fixes which keys consult
+			// the disk, so only the directory's contents move these.
+			opt.Obs.Add("fleet.diskcache.hit", int64(dHits))
+			opt.Obs.Add("fleet.diskcache.miss", int64(dMisses))
+			opt.Obs.Add("fleet.diskcache.corrupt", int64(dCorrupt))
+			opt.Obs.Add("fleet.diskcache.write", dWrites)
+			opt.Obs.Add("fleet.diskcache.evict", int64(dEvicted))
+		}
 		opt.Obs.SetGauge("fleet.cache.inflight", float64(inflight))
 		opt.Obs.SetGauge("fleet.workers", float64(workers))
 		if rep.Elapsed > 0 {
@@ -362,13 +422,21 @@ func (r *Report) TimingText() string {
 	var sb strings.Builder
 	for _, res := range r.Results {
 		src := "verified"
-		if res.Cached {
+		switch {
+		case res.Cached:
 			src = "cached"
+		case res.DiskHit:
+			src = "disk"
 		}
 		fmt.Fprintf(&sb, "  %-20s %8.2fms  %s\n", res.Name, float64(res.Elapsed.Microseconds())/1000, src)
 	}
 	fmt.Fprintf(&sb, "fleet: %d workers, %.2fms wall, cache hits=%d misses=%d\n",
 		r.Workers, float64(r.Elapsed.Microseconds())/1000, r.Hits, r.Misses)
+	if r.DiskHits+r.DiskMisses > 0 {
+		fmt.Fprintf(&sb, "disk cache: hits=%d misses=%d corrupt=%d (hit ratio %.0f%%)\n",
+			r.DiskHits, r.DiskMisses, r.DiskCorrupt,
+			100*float64(r.DiskHits)/float64(r.DiskHits+r.DiskMisses))
+	}
 	return sb.String()
 }
 

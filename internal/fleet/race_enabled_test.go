@@ -1,0 +1,8 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports whether the race detector is on. Wall-clock
+// assertions are skipped under -race: instrumentation overhead is not
+// uniform across kernels, so speedup ratios measured there are noise.
+const raceEnabled = true

@@ -1,0 +1,31 @@
+package netlist_test
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/netlist"
+)
+
+// Allocation regression pins for the WL-refinement kernels. The CSR
+// incidence layout and in-place sorting brought Fingerprint from ~22k
+// allocations per call down to ~9; these bounds leave headroom for
+// incidental change but fail loudly if a per-node or per-round
+// allocation sneaks back into the refinement loop.
+func TestFingerprintAllocs(t *testing.T) {
+	c := designs.SRAMArray(32, 16, 0)
+	c.Fingerprint() // warm any lazy state
+	avg := testing.AllocsPerRun(5, func() { _ = c.Fingerprint() })
+	if avg > 50 {
+		t.Fatalf("Fingerprint allocates %.0f/op, want <= 50 (seed was ~22000)", avg)
+	}
+}
+
+func TestSignaturesAllocs(t *testing.T) {
+	c := designs.SRAMArray(32, 16, 0)
+	netlist.ComputeSignatures(c)
+	avg := testing.AllocsPerRun(5, func() { _ = netlist.ComputeSignatures(c) })
+	if avg > 100 {
+		t.Fatalf("ComputeSignatures allocates %.0f/op, want <= 100 (seed was ~22000)", avg)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -111,9 +112,10 @@ func (c *Circuit) refine() refined {
 		instStatic[i] = fpMix(fpSeed, fpString(inst.Cell))
 	}
 
-	// Incidence: every (node, role, element) edge, built once. Roles
-	// distinguish gate from bulk from channel terminals; the two channel
-	// ends share one role because source and drain are interchangeable.
+	// Incidence: every (node, role, element) edge, built once in a
+	// compressed sparse row layout — one flat edge array plus per-node
+	// offsets — so the whole structure is two allocations instead of a
+	// slice header (plus append growth) per node.
 	const (
 		roleGate    = 11
 		roleBulk    = 13
@@ -123,23 +125,60 @@ func (c *Circuit) refine() refined {
 	)
 	type incidence struct {
 		role uint64
-		elem int // index into the per-kind hash slice
-		kind int // 0 device, 1 resistor, 2 instance
+		elem int32 // index into the per-kind hash slice
+		kind int8  // 0 device, 1 resistor, 2 instance
 	}
-	inc := make([][]incidence, len(c.Nodes))
+	nEdges := 4 * len(c.Devices)
+	nEdges += 2 * len(c.Resistors)
+	for _, inst := range c.Instances {
+		nEdges += len(inst.Conns)
+	}
+	// Count-then-fill: after the prefix sum, node n's edges live in
+	// edges[off[n]:off[n+1]].
+	off := make([]int32, len(c.Nodes)+1)
+	countEdge := func(n NodeID) { off[int(n)+1]++ }
+	for _, d := range c.Devices {
+		countEdge(d.Gate)
+		countEdge(d.Bulk)
+		countEdge(d.Source)
+		countEdge(d.Drain)
+	}
+	for _, r := range c.Resistors {
+		countEdge(r.A)
+		countEdge(r.B)
+	}
+	for _, inst := range c.Instances {
+		for _, n := range inst.Conns {
+			countEdge(n)
+		}
+	}
+	maxDeg := int32(0)
+	for i := 1; i <= len(c.Nodes); i++ {
+		if off[i] > maxDeg {
+			maxDeg = off[i]
+		}
+		off[i] += off[i-1]
+	}
+	edges := make([]incidence, nEdges)
+	cur := make([]int32, len(c.Nodes))
+	copy(cur, off)
+	addEdge := func(n NodeID, role uint64, elem int, kind int8) {
+		edges[cur[n]] = incidence{role, int32(elem), kind}
+		cur[n]++
+	}
 	for i, d := range c.Devices {
-		inc[d.Gate] = append(inc[d.Gate], incidence{roleGate, i, 0})
-		inc[d.Bulk] = append(inc[d.Bulk], incidence{roleBulk, i, 0})
-		inc[d.Source] = append(inc[d.Source], incidence{roleChannel, i, 0})
-		inc[d.Drain] = append(inc[d.Drain], incidence{roleChannel, i, 0})
+		addEdge(d.Gate, roleGate, i, 0)
+		addEdge(d.Bulk, roleBulk, i, 0)
+		addEdge(d.Source, roleChannel, i, 0)
+		addEdge(d.Drain, roleChannel, i, 0)
 	}
 	for i, r := range c.Resistors {
-		inc[r.A] = append(inc[r.A], incidence{roleRes, i, 1})
-		inc[r.B] = append(inc[r.B], incidence{roleRes, i, 1})
+		addEdge(r.A, roleRes, i, 1)
+		addEdge(r.B, roleRes, i, 1)
 	}
 	for i, inst := range c.Instances {
 		for pos, n := range inst.Conns {
-			inc[n] = append(inc[n], incidence{roleInst + uint64(pos)*29, i, 2})
+			addEdge(n, roleInst+uint64(pos)*29, i, 2)
 		}
 	}
 
@@ -147,7 +186,7 @@ func (c *Circuit) refine() refined {
 	resHash := make([]uint64, len(c.Resistors))
 	instHash := make([]uint64, len(c.Instances))
 	next := make([]uint64, len(c.Nodes))
-	var contrib []uint64
+	contrib := make([]uint64, 0, maxDeg)
 	for round := 0; round < fpRounds; round++ {
 		for i, d := range c.Devices {
 			devHash[i] = fpMix(fpMix(fpMix(devStatic[i], labels[d.Gate]), labels[d.Bulk]),
@@ -165,7 +204,7 @@ func (c *Circuit) refine() refined {
 		}
 		for n := range labels {
 			contrib = contrib[:0]
-			for _, e := range inc[n] {
+			for _, e := range edges[off[n]:off[n+1]] {
 				var eh uint64
 				switch e.kind {
 				case 0:
@@ -178,7 +217,7 @@ func (c *Circuit) refine() refined {
 				contrib = append(contrib, fpMix(e.role, eh))
 			}
 			// The multiset of incident-element views, order-independent.
-			sort.Slice(contrib, func(a, b int) bool { return contrib[a] < contrib[b] })
+			slices.Sort(contrib)
 			h := labels[n]
 			for _, v := range contrib {
 				h = fpMix(h, v)
@@ -202,16 +241,13 @@ func (c *Circuit) Fingerprint() Fingerprint {
 	r := c.refine()
 
 	// Final digest: element counts plus the sorted label multisets.
-	// Sorting removes any dependence on insertion order (the refinement
-	// labels are copied first: Signatures hands them out per object).
-	devHash := append([]uint64(nil), r.dev...)
-	resHash := append([]uint64(nil), r.res...)
-	instHash := append([]uint64(nil), r.inst...)
-	sortU64(devHash)
-	sortU64(resHash)
-	sortU64(instHash)
-	nodeFinal := append([]uint64(nil), r.node...)
-	sortU64(nodeFinal)
+	// Sorting removes any dependence on insertion order. refine()
+	// allocates fresh slices per call, so r is exclusively ours and can
+	// be sorted in place (Signatures takes its own refine() result).
+	slices.Sort(r.dev)
+	slices.Sort(r.res)
+	slices.Sort(r.inst)
+	slices.Sort(r.node)
 
 	hw := sha256.New()
 	var buf [8]byte
@@ -223,16 +259,16 @@ func (c *Circuit) Fingerprint() Fingerprint {
 	put(uint64(len(c.Devices)))
 	put(uint64(len(c.Resistors)))
 	put(uint64(len(c.Instances)))
-	for _, v := range nodeFinal {
+	for _, v := range r.node {
 		put(v)
 	}
-	for _, v := range devHash {
+	for _, v := range r.dev {
 		put(v)
 	}
-	for _, v := range resHash {
+	for _, v := range r.res {
 		put(v)
 	}
-	for _, v := range instHash {
+	for _, v := range r.inst {
 		put(v)
 	}
 	var out Fingerprint
@@ -270,9 +306,4 @@ func fpString(s string) uint64 {
 		h = fpMix(h, uint64(s[i]))
 	}
 	return h
-}
-
-// sortU64 sorts a uint64 slice ascending.
-func sortU64(v []uint64) {
-	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
 }

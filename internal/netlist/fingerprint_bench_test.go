@@ -1,0 +1,32 @@
+package netlist_test
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/netlist"
+)
+
+// BenchmarkFingerprintKernel measures the WL-refinement structural hash
+// — the fleet cache's admission cost, paid once per corpus item even on
+// a 100%-hit warm run. The workload is a mid-size SRAM array (~2k
+// devices), the same shape the fleet hashes per corpus item.
+func BenchmarkFingerprintKernel(b *testing.B) {
+	c := designs.SRAMArray(32, 16, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Fingerprint()
+	}
+}
+
+// BenchmarkSignaturesKernel measures the per-object label table the
+// finding-provenance layer computes once per verified design.
+func BenchmarkSignaturesKernel(b *testing.B) {
+	c := designs.SRAMArray(32, 16, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = netlist.ComputeSignatures(c)
+	}
+}

@@ -158,11 +158,16 @@ type Circuit struct {
 	Instances []*Instance
 
 	index map[string]NodeID
+	// vdd/vss cache the supply node IDs (InvalidNode until created), so
+	// the hot kernels' IsSupply tests are integer compares instead of
+	// per-call name lookups. Node() is the only node-creation path, so
+	// the cache cannot go stale.
+	vdd, vss NodeID
 }
 
 // New returns an empty circuit with the given name.
 func New(name string) *Circuit {
-	return &Circuit{Name: name, index: make(map[string]NodeID)}
+	return &Circuit{Name: name, index: make(map[string]NodeID), vdd: InvalidNode, vss: InvalidNode}
 }
 
 // canonName lowercases supply aliases so "GND", "gnd" and "vss" share a
@@ -186,6 +191,12 @@ func (c *Circuit) Node(name string) NodeID {
 	id := NodeID(len(c.Nodes))
 	c.Nodes = append(c.Nodes, &Node{Name: name})
 	c.index[name] = id
+	switch name {
+	case VddName:
+		c.vdd = id
+	case VssName:
+		c.vss = id
+	}
 	return id
 }
 
@@ -206,13 +217,15 @@ func (c *Circuit) NodeName(id NodeID) string {
 }
 
 // IsVdd reports whether the node is the positive supply.
-func (c *Circuit) IsVdd(id NodeID) bool { return c.NodeName(id) == VddName }
+func (c *Circuit) IsVdd(id NodeID) bool { return id != InvalidNode && id == c.vdd }
 
 // IsVss reports whether the node is the ground supply.
-func (c *Circuit) IsVss(id NodeID) bool { return c.NodeName(id) == VssName }
+func (c *Circuit) IsVss(id NodeID) bool { return id != InvalidNode && id == c.vss }
 
 // IsSupply reports whether the node is either supply rail.
-func (c *Circuit) IsSupply(id NodeID) bool { return c.IsVdd(id) || c.IsVss(id) }
+func (c *Circuit) IsSupply(id NodeID) bool {
+	return id != InvalidNode && (id == c.vdd || id == c.vss)
+}
 
 // DeclarePort marks the named node as a port, creating it if needed, and
 // returns its ID. Ports keep declaration order.

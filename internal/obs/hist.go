@@ -68,20 +68,27 @@ func (c *Collector) Observe(name string, ms float64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	if c.hists == nil {
-		c.hists = make(map[string]*Histogram)
-	}
+	c.metricMu.RLock()
 	h := c.hists[name]
+	c.metricMu.RUnlock()
 	if h == nil {
-		h = &Histogram{Counts: make([]int64, len(HistBoundsMS)+1)}
-		c.hists[name] = h
+		c.metricMu.Lock()
+		if c.hists == nil {
+			c.hists = make(map[string]*histState)
+		}
+		h = c.hists[name]
+		if h == nil {
+			h = &histState{counts: make([]int64, len(HistBoundsMS)+1)}
+			c.hists[name] = h
+		}
+		c.metricMu.Unlock()
 	}
 	i := sort.SearchFloat64s(HistBoundsMS, ms)
-	h.Counts[i]++
-	h.Sum += ms
-	h.Count++
-	c.mu.Unlock()
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += ms
+	h.count++
+	h.mu.Unlock()
 }
 
 // Histograms returns a deep copy of all histograms (nil map on nil c).
@@ -89,15 +96,17 @@ func (c *Collector) Histograms() map[string]Histogram {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.metricMu.RLock()
+	defer c.metricMu.RUnlock()
 	out := make(map[string]Histogram, len(c.hists))
 	for k, h := range c.hists {
+		h.mu.Lock()
 		out[k] = Histogram{
-			Counts: append([]int64(nil), h.Counts...),
-			Sum:    h.Sum,
-			Count:  h.Count,
+			Counts: append([]int64(nil), h.counts...),
+			Sum:    h.sum,
+			Count:  h.count,
 		}
+		h.mu.Unlock()
 	}
 	return out
 }

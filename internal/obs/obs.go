@@ -44,35 +44,65 @@
 // configuration produce byte-identical manifests and event streams
 // after masking the volatile fields, which is exactly what the
 // masking-based determinism tests assert.
+//
+// A warm run replaying results from a persistent cache directory (fcv
+// verify -cache-dir) widens the volatile set: per-item stage spans,
+// stage histograms and the pipeline's internal counters (core.*,
+// recognize.*, timing.*) describe work the warm run never performed,
+// so they are present cold and absent warm, and the cached flags and
+// fleet.diskcache.* counters flip between the two. The stable half —
+// item names, fingerprints, verdicts, finding IDs and evidence,
+// verdict tallies — is identical cold and warm; `fcv diff` gates on
+// exactly that half, which is why a cold manifest diffs clean against
+// its warm replay.
 package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Collector gathers one run's spans, counters and gauges. The zero
 // value is not usable; construct with New. A nil *Collector is the
 // valid, allocation-free "telemetry off" state.
+//
+// Locking is split so the hot paths don't contend: the span tree has
+// its own mutex, and metrics live behind an RWMutex that guards only
+// the name→cell maps — each cell is an atomic the caller updates after
+// a read-locked lookup, so concurrent fleet workers bumping counters
+// never serialize on one lock (and never wait behind span operations).
 type Collector struct {
 	base time.Time // monotonic reference for all span offsets
 
-	mu       sync.Mutex
-	roots    []*Span
-	counters map[string]int64
-	gauges   map[string]float64
-	hists    map[string]*Histogram
+	mu    sync.Mutex // guards the span tree (roots and all Span fields)
+	roots []*Span
+
+	metricMu sync.RWMutex // guards the maps below, not the cell values
+	counters map[string]*atomic.Int64
+	gauges   map[string]*atomic.Uint64 // float64 bits
+	hists    map[string]*histState
+}
+
+// histState is a histogram's mutable storage with its own lock, so two
+// workers observing different histograms never contend.
+type histState struct {
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	count  int64
 }
 
 // New returns an empty collector whose span clock starts now.
 func New() *Collector {
 	return &Collector{
 		base:     time.Now(),
-		counters: make(map[string]int64),
-		gauges:   make(map[string]float64),
+		counters: make(map[string]*atomic.Int64),
+		gauges:   make(map[string]*atomic.Uint64),
 	}
 }
 
@@ -179,14 +209,50 @@ func (s *Span) Collector() *Collector {
 	return s.c
 }
 
+// counterCell returns the named counter's atomic cell, creating it on
+// first use. Steady state is a read-locked map lookup.
+func (c *Collector) counterCell(name string) *atomic.Int64 {
+	c.metricMu.RLock()
+	cell := c.counters[name]
+	c.metricMu.RUnlock()
+	if cell != nil {
+		return cell
+	}
+	c.metricMu.Lock()
+	cell = c.counters[name]
+	if cell == nil {
+		cell = new(atomic.Int64)
+		c.counters[name] = cell
+	}
+	c.metricMu.Unlock()
+	return cell
+}
+
+// gaugeCell returns the named gauge's atomic cell (float64 bits),
+// creating it on first use.
+func (c *Collector) gaugeCell(name string) *atomic.Uint64 {
+	c.metricMu.RLock()
+	cell := c.gauges[name]
+	c.metricMu.RUnlock()
+	if cell != nil {
+		return cell
+	}
+	c.metricMu.Lock()
+	cell = c.gauges[name]
+	if cell == nil {
+		cell = new(atomic.Uint64)
+		c.gauges[name] = cell
+	}
+	c.metricMu.Unlock()
+	return cell
+}
+
 // Add increments a named counter. No-op on nil.
 func (c *Collector) Add(name string, delta int64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	c.counters[name] += delta
-	c.mu.Unlock()
+	c.counterCell(name).Add(delta)
 }
 
 // SetGauge records a named level, overwriting any previous value.
@@ -194,9 +260,7 @@ func (c *Collector) SetGauge(name string, v float64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	c.gauges[name] = v
-	c.mu.Unlock()
+	c.gaugeCell(name).Store(math.Float64bits(v))
 }
 
 // AddGauge accumulates into a named gauge. Gauges are the manifest's
@@ -207,9 +271,13 @@ func (c *Collector) AddGauge(name string, delta float64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	c.gauges[name] += delta
-	c.mu.Unlock()
+	cell := c.gaugeCell(name)
+	for {
+		old := cell.Load()
+		if cell.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
 }
 
 // Gauge returns the named gauge's value (0 if absent or nil c).
@@ -217,9 +285,13 @@ func (c *Collector) Gauge(name string) float64 {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.gauges[name]
+	c.metricMu.RLock()
+	cell := c.gauges[name]
+	c.metricMu.RUnlock()
+	if cell == nil {
+		return 0
+	}
+	return math.Float64frombits(cell.Load())
 }
 
 // Counter returns the named counter's value (0 if absent or nil c).
@@ -227,9 +299,13 @@ func (c *Collector) Counter(name string) int64 {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counters[name]
+	c.metricMu.RLock()
+	cell := c.counters[name]
+	c.metricMu.RUnlock()
+	if cell == nil {
+		return 0
+	}
+	return cell.Load()
 }
 
 // Counters returns a copy of all counters (nil map on nil c).
@@ -237,11 +313,11 @@ func (c *Collector) Counters() map[string]int64 {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.metricMu.RLock()
+	defer c.metricMu.RUnlock()
 	out := make(map[string]int64, len(c.counters))
 	for k, v := range c.counters {
-		out[k] = v
+		out[k] = v.Load()
 	}
 	return out
 }
@@ -251,11 +327,11 @@ func (c *Collector) Gauges() map[string]float64 {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.metricMu.RLock()
+	defer c.metricMu.RUnlock()
 	out := make(map[string]float64, len(c.gauges))
 	for k, v := range c.gauges {
-		out[k] = v
+		out[k] = math.Float64frombits(v.Load())
 	}
 	return out
 }
@@ -334,24 +410,24 @@ func (c *Collector) CountersText() string {
 	if c == nil {
 		return ""
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	names := make([]string, 0, len(c.counters))
-	for k := range c.counters {
+	counters := c.Counters()
+	gauges := c.Gauges()
+	names := make([]string, 0, len(counters))
+	for k := range counters {
 		names = append(names, k)
 	}
 	sort.Strings(names)
 	var sb strings.Builder
 	for _, k := range names {
-		fmt.Fprintf(&sb, "  %-42s %d\n", k, c.counters[k])
+		fmt.Fprintf(&sb, "  %-42s %d\n", k, counters[k])
 	}
-	gnames := make([]string, 0, len(c.gauges))
-	for k := range c.gauges {
+	gnames := make([]string, 0, len(gauges))
+	for k := range gauges {
 		gnames = append(gnames, k)
 	}
 	sort.Strings(gnames)
 	for _, k := range gnames {
-		fmt.Fprintf(&sb, "  %-42s %.3f\n", k, c.gauges[k])
+		fmt.Fprintf(&sb, "  %-42s %.3f\n", k, gauges[k])
 	}
 	return sb.String()
 }

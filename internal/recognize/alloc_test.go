@@ -1,0 +1,27 @@
+package recognize_test
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/recognize"
+)
+
+// Allocation regression pin for CCC extraction. The stamped marker
+// arrays and CSR channel incidence brought full recognition of the
+// SRAM array from ~9000 allocations to ~2700; the bound fails if the
+// per-group maps come back.
+func TestAnalyzeAllocs(t *testing.T) {
+	c := designs.SRAMArray(32, 16, 0)
+	if _, err := recognize.Analyze(c); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := recognize.Analyze(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 5000 {
+		t.Fatalf("Analyze allocates %.0f/op, want <= 5000 (seed was ~9000)", avg)
+	}
+}

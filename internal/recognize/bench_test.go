@@ -1,0 +1,37 @@
+package recognize_test
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/recognize"
+)
+
+// BenchmarkAnalyzeKernel measures full recognition — CCC extraction,
+// conduction-function derivation, family classification and latch
+// finding — over the domino adder, the corpus shape with the richest
+// mix of group kinds.
+func BenchmarkAnalyzeKernel(b *testing.B) {
+	c := designs.DominoAdder(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := recognize.Analyze(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildGroupsKernel isolates CCC extraction (the union-find
+// partition plus input/output classification) on a large array — the
+// first thing every verification stage pays for.
+func BenchmarkBuildGroupsKernel(b *testing.B) {
+	c := designs.SRAMArray(32, 16, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := recognize.Analyze(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

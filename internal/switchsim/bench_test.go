@@ -1,0 +1,30 @@
+package switchsim_test
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/switchsim"
+)
+
+// BenchmarkSettleKernel measures worklist settling throughput: clocked
+// stimulus walked through the domino adder, the workload whose dirty
+// cone the worklist scheduler was built for.
+func BenchmarkSettleKernel(b *testing.B) {
+	c := designs.DominoAdder(16)
+	sim, err := switchsim.New(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.Settle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.SetQuiet("phi", switchsim.Lo)
+		sim.Settle()
+		sim.SetQuiet("a0", switchsim.Bool(i%2 == 0))
+		sim.SetQuiet("b0", switchsim.Hi)
+		sim.SetQuiet("phi", switchsim.Hi)
+		sim.Settle()
+	}
+}

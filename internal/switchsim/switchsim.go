@@ -16,6 +16,7 @@ package switchsim
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/netlist"
@@ -104,6 +105,9 @@ type Sim struct {
 	queue                          []netlist.NodeID
 	seedHi, seedLo, seedX          []netlist.NodeID
 	pend                           []pendingVal
+	changed                        []netlist.NodeID
+	floating, island               []netlist.NodeID
+	isFloat, seenFloat             []bool
 }
 
 // pendingVal stages one node update within a wave so every component is
@@ -154,6 +158,8 @@ func New(c *netlist.Circuit) (*Sim, error) {
 	s.mayVss = make([]bool, len(c.Nodes))
 	s.strength = make([]float64, len(c.Nodes))
 	s.blocked = make([]bool, len(c.Nodes))
+	s.isFloat = make([]bool, len(c.Nodes))
+	s.seenFloat = make([]bool, len(c.Nodes))
 	// Everything starts dirty: the first Settle establishes the initial
 	// fixed point exactly as a full sweep would.
 	for ci := range s.compDevs {
@@ -409,7 +415,7 @@ func (s *Sim) settleFull() int {
 // sorted for deterministic evaluation order.
 func (s *Sim) takeDirty() []int {
 	wl := append(s.wave[:0], s.dirtyList...)
-	sort.Ints(wl)
+	slices.Sort(wl)
 	for _, ci := range s.dirtyList {
 		s.dirty[ci] = false
 	}
@@ -428,13 +434,14 @@ func (s *Sim) waveEval(comps []int) []netlist.NodeID {
 	for _, ci := range comps {
 		s.evalComp(ci)
 	}
-	var changed []netlist.NodeID
+	changed := s.changed[:0]
 	for _, p := range s.pend {
 		if s.value[p.id] != p.v {
 			s.value[p.id] = p.v
 			changed = append(changed, p.id)
 		}
 	}
+	s.changed = changed
 	return changed
 }
 
@@ -474,7 +481,7 @@ func (s *Sim) evalComp(ci int) {
 	s.compReach(s.mayVdd, devs, s.vdd, seedHi, seedX, true)
 	s.compReach(s.mayVss, devs, s.vss, seedLo, seedX, true)
 
-	var floating []netlist.NodeID
+	floating := s.floating[:0]
 	for _, nid := range nodes {
 		id := int(nid)
 		if s.driven[id] {
@@ -542,16 +549,15 @@ func (s *Sim) evalComp(ci int) {
 	// package's refinement; simulation stays conservative. Islands
 	// never cross component boundaries (they are channel-connected).
 	if len(floating) > 0 {
-		isFloating := make(map[netlist.NodeID]bool, len(floating))
+		isFloating, seen := s.isFloat, s.seenFloat
 		for _, id := range floating {
 			isFloating[id] = true
 		}
-		seen := make(map[netlist.NodeID]bool)
 		for _, start := range floating {
 			if seen[start] {
 				continue
 			}
-			island := []netlist.NodeID{start}
+			island := append(s.island[:0], start)
 			seen[start] = true
 			mixed := false
 			degraded := false
@@ -586,9 +592,15 @@ func (s *Sim) evalComp(ci int) {
 					}
 				}
 			}
+			s.island = island
 			// Otherwise the island retains its stored charge.
 		}
+		for _, id := range floating {
+			isFloating[id] = false
+			seen[id] = false
+		}
 	}
+	s.floating = floating
 
 	// Reset the reach scratch for the next component (rails are never
 	// marked; only members were).

@@ -98,7 +98,7 @@ func overlaps(x, y Phase) bool {
 // report.
 func (a *analyzer) check(rep *Report) {
 	spec := a.opt.Clock
-	endpoint := func(id netlist.NodeID, arrival Bounds, predMaxStart, predMinStart map[netlist.NodeID]netlist.NodeID, isStateEP bool) {
+	endpoint := func(id netlist.NodeID, arrival Bounds, predMaxStart, predMinStart []netlist.NodeID, isStateEP bool) {
 		p := Path{Endpoint: id, Arrival: arrival}
 		p.NodesMax = a.tracePath(id, predMaxStart, a.predMax)
 		p.NodesMin = a.tracePath(id, predMinStart, a.predMin)
@@ -165,10 +165,7 @@ func (a *analyzer) check(rep *Report) {
 	}
 
 	// State endpoints with captured data.
-	capIDs := make([]netlist.NodeID, 0, len(a.capture))
-	for id := range a.capture {
-		capIDs = append(capIDs, id)
-	}
+	capIDs := a.capIDs
 	sort.Slice(capIDs, func(i, j int) bool { return capIDs[i] < capIDs[j] })
 	for _, id := range capIDs {
 		endpoint(id, a.capture[id], a.capPredMax, a.capPredMin, true)
@@ -232,18 +229,17 @@ func (a *analyzer) sameLatch(x, y netlist.NodeID) bool {
 }
 
 // tracePath reconstructs a path by walking predecessor links from the
-// endpoint back to a launch point. first selects the endpoint's own
-// predecessor map (capture-side); rest uses the propagation map.
-func (a *analyzer) tracePath(end netlist.NodeID, first, rest map[netlist.NodeID]netlist.NodeID) []netlist.NodeID {
+// endpoint back to a launch point (InvalidNode terminates). first
+// selects the endpoint's own predecessor table (capture-side); rest is
+// the propagation table.
+func (a *analyzer) tracePath(end netlist.NodeID, first, rest []netlist.NodeID) []netlist.NodeID {
 	var rev []netlist.NodeID
 	rev = append(rev, end)
-	cur, ok := first[end]
-	for ok {
+	for cur := first[end]; cur != netlist.InvalidNode; cur = rest[cur] {
 		rev = append(rev, cur)
 		if len(rev) > len(a.c.Nodes)+2 {
 			break // cycle guard
 		}
-		cur, ok = rest[cur]
 	}
 	// Reverse.
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {

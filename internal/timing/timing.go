@@ -138,6 +138,7 @@ func Analyze(rec *recognize.Result, opt Options) (*Report, error) {
 	a := &analyzer{rec: rec, c: rec.Circuit, opt: opt}
 	a.buildLoads()
 	a.buildArcs()
+	a.buildFanout()
 	rep := &Report{Circuit: a.c, Arcs: a.arcs, Arrival: make(map[netlist.NodeID]Bounds)}
 	a.propagate(rep)
 	a.check(rep)
@@ -183,20 +184,26 @@ type analyzer struct {
 	c   *netlist.Circuit
 	opt Options
 
-	loadFF  []float64 // per node: nominal load capacitance
-	arcs    []Arc
-	fanout  map[netlist.NodeID][]int // node → arc indices leaving it
-	isState map[netlist.NodeID]bool
+	loadFF []float64 // per node: nominal load capacitance
+	arcs   []Arc
+	// fanout in compressed sparse row form: arc indices leaving node n
+	// are fanArcs[fanOff[n]:fanOff[n+1]], in arc-insertion order.
+	fanOff  []int32
+	fanArcs []int32
+	isState []bool                    // per node
 	clockOf map[netlist.NodeID]string // state node → clock net name
 
-	// capture accumulates data arrivals at state endpoints; predMax and
-	// predMin record the arc source that produced each bound, for path
-	// reconstruction.
-	capture    map[netlist.NodeID]Bounds
-	predMax    map[netlist.NodeID]netlist.NodeID
-	predMin    map[netlist.NodeID]netlist.NodeID
-	capPredMax map[netlist.NodeID]netlist.NodeID
-	capPredMin map[netlist.NodeID]netlist.NodeID
+	// capture accumulates data arrivals at state endpoints (hasCapture
+	// gates validity, capIDs lists them in first-capture order); predMax
+	// and predMin record the arc source that produced each bound, for
+	// path reconstruction (InvalidNode = none). All are node-indexed.
+	capture    []Bounds
+	hasCapture []bool
+	capIDs     []netlist.NodeID
+	predMax    []netlist.NodeID
+	predMin    []netlist.NodeID
+	capPredMax []netlist.NodeID
+	capPredMin []netlist.NodeID
 }
 
 // buildLoads computes nominal load capacitance of every node: explicit
@@ -219,7 +226,6 @@ func (a *analyzer) buildLoads() {
 // output with bounded switch delay) and from extracted resistors (RC
 // settling arcs).
 func (a *analyzer) buildArcs() {
-	a.fanout = make(map[netlist.NodeID][]int)
 	for gi, g := range a.rec.Groups {
 		for _, f := range g.Funcs {
 			out := f.Node
@@ -294,10 +300,28 @@ func (a *analyzer) buildArcs() {
 	}
 }
 
-// addArc appends an arc and indexes its fanout.
+// addArc appends an arc; buildFanout indexes the full set afterwards.
 func (a *analyzer) addArc(arc Arc) {
-	a.fanout[arc.From] = append(a.fanout[arc.From], len(a.arcs))
 	a.arcs = append(a.arcs, arc)
+}
+
+// buildFanout indexes the arcs by source node in CSR form, preserving
+// arc-insertion order within each node's range.
+func (a *analyzer) buildFanout() {
+	a.fanOff = make([]int32, len(a.c.Nodes)+1)
+	for _, arc := range a.arcs {
+		a.fanOff[arc.From+1]++
+	}
+	for i := 1; i <= len(a.c.Nodes); i++ {
+		a.fanOff[i] += a.fanOff[i-1]
+	}
+	a.fanArcs = make([]int32, len(a.arcs))
+	cur := make([]int32, len(a.c.Nodes))
+	copy(cur, a.fanOff)
+	for i, arc := range a.arcs {
+		a.fanArcs[cur[arc.From]] = int32(i)
+		cur[arc.From]++
+	}
 }
 
 // inputsOf returns the group's gate inputs (non-supply gate nets).
@@ -397,41 +421,61 @@ func (a *analyzer) stateClock(id netlist.NodeID) string {
 // there); purely combinational loops are bounded by iteration count and
 // reported via Levels.
 func (a *analyzer) propagate(rep *Report) {
-	a.capture = make(map[netlist.NodeID]Bounds)
-	a.predMax = make(map[netlist.NodeID]netlist.NodeID)
-	a.predMin = make(map[netlist.NodeID]netlist.NodeID)
-	a.capPredMax = make(map[netlist.NodeID]netlist.NodeID)
-	a.capPredMin = make(map[netlist.NodeID]netlist.NodeID)
-	a.isState = make(map[netlist.NodeID]bool)
+	nn := len(a.c.Nodes)
+	a.capture = make([]Bounds, nn)
+	a.hasCapture = make([]bool, nn)
+	a.predMax = make([]netlist.NodeID, nn)
+	a.predMin = make([]netlist.NodeID, nn)
+	a.capPredMax = make([]netlist.NodeID, nn)
+	a.capPredMin = make([]netlist.NodeID, nn)
+	for i := 0; i < nn; i++ {
+		a.predMax[i] = netlist.InvalidNode
+		a.predMin[i] = netlist.InvalidNode
+		a.capPredMax[i] = netlist.InvalidNode
+		a.capPredMin[i] = netlist.InvalidNode
+	}
+	a.isState = make([]bool, nn)
 	for _, s := range a.rec.StateNodes {
 		a.isState[s] = true
 	}
-	arr := rep.Arrival
-	var queue []netlist.NodeID
-	inQueue := make(map[netlist.NodeID]bool)
+	// Arrivals live in flat node-indexed arrays during the worklist run;
+	// the exposed Report.Arrival map is filled once at the end.
+	arr := make([]Bounds, nn)
+	hasArr := make([]bool, nn)
+	isLaunch := make([]bool, nn)
+	queue := make([]netlist.NodeID, 0, nn)
+	inQueue := make([]bool, nn)
 	push := func(id netlist.NodeID) {
 		if !inQueue[id] {
 			inQueue[id] = true
 			queue = append(queue, id)
 		}
 	}
-	for id := range a.c.Nodes {
+	for id := 0; id < nn; id++ {
 		nid := netlist.NodeID(id)
 		if b, ok := a.launchBounds(nid); ok {
-			arr[nid] = b
+			arr[id] = b
+			hasArr[id] = true
+			isLaunch[id] = true
 			push(nid)
 		}
 	}
 	iter := 0
-	maxIter := 4 * (len(a.arcs) + len(a.c.Nodes) + 1)
-	for len(queue) > 0 && iter < maxIter {
+	head := 0
+	maxIter := 4 * (len(a.arcs) + nn + 1)
+	for head < len(queue) && iter < maxIter {
 		iter++
-		id := queue[0]
-		queue = queue[1:]
+		id := queue[head]
+		head++
+		if head > nn && head*2 > len(queue) {
+			// Compact the drained prefix so the queue stays O(nodes).
+			queue = queue[:copy(queue, queue[head:])]
+			head = 0
+		}
 		inQueue[id] = false
 		from := arr[id]
-		for _, ai := range a.fanout[id] {
-			arc := a.arcs[ai]
+		for _, ai := range a.fanArcs[a.fanOff[id]:a.fanOff[id+1]] {
+			arc := &a.arcs[ai]
 			nb := Bounds{Min: from.Min + arc.DelayPS.Min, Max: from.Max + arc.DelayPS.Max}
 			// Do not propagate *through* a state endpoint: data is
 			// captured there and re-launched by its clock. Feedback
@@ -444,18 +488,18 @@ func (a *analyzer) propagate(rep *Report) {
 				}
 				continue
 			}
-			if _, isLaunch := a.launchBounds(arc.To); isLaunch {
+			if isLaunch[arc.To] {
 				continue // launch points keep their launch times
 			}
-			old, ok := arr[arc.To]
 			changed := false
-			if !ok {
+			if !hasArr[arc.To] {
 				arr[arc.To] = nb
+				hasArr[arc.To] = true
 				a.predMax[arc.To] = id
 				a.predMin[arc.To] = id
 				changed = true
 			} else {
-				merged := old
+				merged := arr[arc.To]
 				if nb.Min < merged.Min {
 					merged.Min = nb.Min
 					a.predMin[arc.To] = id
@@ -474,17 +518,24 @@ func (a *analyzer) propagate(rep *Report) {
 		}
 	}
 	rep.Levels = iter
+	for id := 0; id < nn; id++ {
+		if hasArr[id] {
+			rep.Arrival[netlist.NodeID(id)] = arr[id]
+		}
+	}
 }
 
 // mergeCapture accumulates a data arrival at a state endpoint.
 func (a *analyzer) mergeCapture(id netlist.NodeID, b Bounds, from netlist.NodeID) {
-	old, ok := a.capture[id]
-	if !ok {
+	if !a.hasCapture[id] {
 		a.capture[id] = b
+		a.hasCapture[id] = true
+		a.capIDs = append(a.capIDs, id)
 		a.capPredMax[id] = from
 		a.capPredMin[id] = from
 		return
 	}
+	old := a.capture[id]
 	if b.Min < old.Min {
 		old.Min = b.Min
 		a.capPredMin[id] = from
