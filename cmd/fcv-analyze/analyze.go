@@ -1,0 +1,324 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// exemptDir is the one package allowed to touch the wall clock and own
+// a random source: it *is* the sanctioned seam the rules funnel
+// everything through.
+const exemptDir = "internal/obs"
+
+// expandPackages resolves the command-line arguments to a sorted list
+// of Go files. "./..." (or any argument ending in "...") walks the tree
+// rooted at its prefix; anything else is a single directory. Vendored
+// trees, testdata fixtures and hidden directories are skipped — testdata
+// holds the seeded violations the tests feed back through analyzeFiles.
+func expandPackages(root string, args []string) ([]string, error) {
+	join := func(p string) string {
+		if filepath.IsAbs(p) {
+			return filepath.Clean(p)
+		}
+		return filepath.Join(root, p)
+	}
+	dirs := map[string]bool{}
+	for _, a := range args {
+		if strings.HasSuffix(a, "...") {
+			base := join(strings.TrimSuffix(strings.TrimSuffix(a, "..."), "/"))
+			err := filepath.WalkDir(base, func(p string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				dirs[p] = true
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dirs[join(a)] = true
+	}
+	var files []string
+	for d := range dirs {
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+				continue
+			}
+			files = append(files, filepath.Join(d, n))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// finding is one diagnostic, formatted path:line:col: RULE message.
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s %s", f.pos.Filename, f.pos.Line, f.pos.Column, f.rule, f.msg)
+}
+
+// analyzeFiles parses and checks every file, returning findings sorted
+// by (file, line, col, rule) so the report is byte-stable.
+func analyzeFiles(files []string) ([]string, error) {
+	fset := token.NewFileSet()
+	var findings []finding
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		exempt := strings.Contains(filepath.ToSlash(path), exemptDir+"/")
+		findings = append(findings, checkFile(fset, f, exempt)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.rule < b.rule
+	})
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.String()
+	}
+	return out, nil
+}
+
+// checkFile runs the three rules over one parsed file.
+func checkFile(fset *token.FileSet, f *ast.File, exempt bool) []finding {
+	var out []finding
+
+	// DET003: math/rand import. Checked on the import table, not call
+	// sites — the unseeded global source makes every use suspect.
+	if !exempt {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "math/rand" || p == "math/rand/v2" {
+				out = append(out, finding{fset.Position(imp.Pos()), "DET003",
+					"math/rand outside internal/obs: use obs.NewRNG (pinned, replayable stream)"})
+			}
+		}
+	}
+
+	// timeAliases: local names bound to the time package (usually just
+	// "time", but honor renames).
+	timeAliases := map[string]bool{}
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == "time" {
+			name := "time"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			timeAliases[name] = true
+		}
+	}
+
+	mapVars := collectMapVars(f)
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		// DET002: time.Now / time.Since calls.
+		if !exempt {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && timeAliases[id.Name] &&
+						(sel.Sel.Name == "Now" || sel.Sel.Name == "Since") {
+						out = append(out, finding{fset.Position(call.Pos()), "DET002",
+							fmt.Sprintf("time.%s outside internal/obs: use obs.Now() so the volatile-field set stays auditable", sel.Sel.Name)})
+					}
+				}
+			}
+		}
+
+		// DET001: range over a map feeding a writer. Applies everywhere,
+		// internal/obs included — ordered output is everyone's contract.
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || rng.Body == nil {
+			return true
+		}
+		if !looksLikeMap(rng.X, mapVars) {
+			return true
+		}
+		if pos, sink := firstOutputSink(rng.Body); sink != "" {
+			out = append(out, finding{fset.Position(pos), "DET001",
+				fmt.Sprintf("range over map feeds %s: iteration order is random — collect keys, sort, then emit", sink)})
+		}
+		return true
+	})
+	return out
+}
+
+// collectMapVars gathers every identifier the file *declares* with a
+// map type: function parameters and results, var specs, struct fields,
+// and short declarations initialized from make(map...) or a map
+// literal. Scopes are flattened file-wide — good enough for a linter
+// where a rare same-name shadow costs one manual review, not a miss.
+func collectMapVars(f *ast.File) map[string]bool {
+	vars := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, fd := range fl.List {
+			if _, ok := fd.Type.(*ast.MapType); ok {
+				for _, n := range fd.Names {
+					vars[n.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Type != nil {
+				addFields(d.Type.Params)
+				addFields(d.Type.Results)
+			}
+		case *ast.StructType:
+			addFields(d.Fields)
+		case *ast.ValueSpec:
+			if _, ok := d.Type.(*ast.MapType); ok {
+				for _, id := range d.Names {
+					vars[id.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range d.Rhs {
+				if i >= len(d.Lhs) {
+					break
+				}
+				if isMapExpr(rhs) {
+					if id, ok := d.Lhs[i].(*ast.Ident); ok {
+						vars[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// isMapExpr reports whether an expression is syntactically map-typed:
+// a map literal or make(map[...]...).
+func isMapExpr(x ast.Expr) bool {
+	switch e := x.(type) {
+	case *ast.CompositeLit:
+		_, ok := e.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			_, ok := e.Args[0].(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}
+
+// looksLikeMap reports whether a ranged expression is a map: declared
+// map-typed in this file (collectMapVars), a map literal or make call,
+// or an identifier/selector whose name follows the repo's map naming
+// conventions (the cross-file fallback — full go/types resolution is
+// off the table in a zero-dependency build). Conservative on purpose:
+// a miss is a missed warning, a false positive blocks CI.
+func looksLikeMap(x ast.Expr, mapVars map[string]bool) bool {
+	if isMapExpr(x) {
+		return true
+	}
+	switch e := x.(type) {
+	case *ast.Ident:
+		return mapVars[e.Name] || mapName(e.Name)
+	case *ast.SelectorExpr:
+		return mapVars[e.Sel.Name] || mapName(e.Sel.Name)
+	default:
+		return false
+	}
+}
+
+// mapName reports whether an identifier follows the repo's map naming
+// conventions: a "By"-keyed index (diagsByCell), an explicit Map/map
+// suffix, a seen/dedup set, or one of the known map-valued fields.
+func mapName(name string) bool {
+	if strings.Contains(name, "By") && !strings.HasPrefix(name, "By") {
+		return true
+	}
+	lower := strings.ToLower(name)
+	for _, suf := range []string{"map", "set", "seen", "index", "byid"} {
+		if strings.HasSuffix(lower, suf) {
+			return true
+		}
+	}
+	switch lower {
+	case "seen", "waived", "counts", "tallies", "clocks", "known", "inferred":
+		return true
+	}
+	return false
+}
+
+// firstOutputSink scans a loop body for the earliest direct output
+// call: fmt.Fprint*/Print*, a Write/WriteString/Encode method call, or
+// a builder/writer WriteByte/WriteRune. Appending to a slice is NOT a
+// sink — the idiomatic fix (collect, sort, emit) looks exactly like
+// that, and flagging it would outlaw the cure.
+func firstOutputSink(body *ast.BlockStmt) (token.Pos, string) {
+	var pos token.Pos
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" &&
+			(strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")) {
+			pos, sink = call.Pos(), "fmt."+name
+			return false
+		}
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			pos, sink = call.Pos(), "."+name
+			return false
+		}
+		return true
+	})
+	return pos, sink
+}

@@ -1,0 +1,63 @@
+// fcv-analyze is a determinism linter for this repository's own Go
+// source. The verification pipeline promises byte-identical reports,
+// manifests and event streams at any worker count; that promise dies
+// quietly whenever a map iteration feeds a writer or a wall-clock read
+// sneaks outside the sanctioned seam. This tool makes those hazards a
+// CI failure instead of a flaky diff three sessions later.
+//
+// Three rules, all syntactic (stdlib go/ast only — the module has no
+// dependencies, so golang.org/x/tools/go/analysis is off the table):
+//
+//	DET001  range over a map whose loop body writes output directly
+//	        (fmt.Fprint*/Print*, Write/WriteString, json Encode) —
+//	        iteration order is random, the output is not. Collect keys,
+//	        sort, then emit.
+//	DET002  time.Now / time.Since outside internal/obs — the clock
+//	        enters through obs.Now() so the volatile field set stays
+//	        auditable.
+//	DET003  math/rand import outside internal/obs — seeded streams come
+//	        from obs.RNG, whose sequence is pinned across Go releases.
+//
+// Usage:
+//
+//	go run ./cmd/fcv-analyze ./...
+//	go run ./cmd/fcv-analyze internal/lint cmd/fcv
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/parse errors. Findings print
+// one per line as path:line:col: RULE message, sorted, so the output is
+// itself deterministic.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw interface{ Write([]byte) (int, error) }) int {
+	if len(args) == 0 {
+		fmt.Fprintln(errw, "usage: fcv-analyze <packages>  (e.g. ./...)")
+		return 2
+	}
+	files, err := expandPackages(".", args)
+	if err != nil {
+		fmt.Fprintln(errw, "fcv-analyze:", err)
+		return 2
+	}
+	findings, err := analyzeFiles(files)
+	if err != nil {
+		fmt.Fprintln(errw, "fcv-analyze:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(errw, "fcv-analyze: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

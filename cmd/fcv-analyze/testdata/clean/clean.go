@@ -1,0 +1,44 @@
+// Package clean exercises every pattern that superficially resembles a
+// hazard but is the sanctioned fix — the analyzer must stay silent on
+// all of it (false positives block CI).
+package clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EmitSorted is the DET001 cure: collect keys, sort, then emit. The
+// range over the map only appends; the writer sees the sorted slice.
+func EmitSorted(w io.Writer, tallies map[string]int) {
+	keys := make([]string, 0, len(tallies))
+	for k := range tallies { // append-only: not a sink
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice range: ordered
+		fmt.Fprintf(w, "%s=%d\n", k, tallies[k])
+	}
+}
+
+// Accumulate ranges a map into another map — reductions are
+// order-independent, not output.
+func Accumulate(in map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range in {
+		out[k] += v
+	}
+	return out
+}
+
+// FirstError mirrors the manifest validators: a map range whose body
+// only constructs errors. fmt.Errorf is not an output sink.
+func FirstError(fields map[string]any) error {
+	for k, v := range fields {
+		if v == nil {
+			return fmt.Errorf("field %q is nil", k)
+		}
+	}
+	return nil
+}

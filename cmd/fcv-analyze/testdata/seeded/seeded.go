@@ -1,0 +1,42 @@
+// Package seeded holds one deliberate instance of every determinism
+// hazard fcv-analyze hunts. The test suite runs the analyzer over this
+// directory and asserts each rule fires at its documented line; the
+// walker skips testdata, so the repo-wide CI run never sees these.
+package seeded
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // DET003: rand import outside internal/obs
+	"time"
+)
+
+// EmitTallies ranges a map straight into a writer — DET001 twice: the
+// parameter is declared map-typed, and the field's name says Map.
+func EmitTallies(w io.Writer, tallies map[string]int) {
+	for k, v := range tallies { // DET001 (declared map type)
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+type report struct {
+	countMap map[string]int
+}
+
+func (r report) dump(w io.Writer) {
+	for k := range r.countMap { // DET001 (map naming convention)
+		io.WriteString(w, k)
+	}
+}
+
+// Stamp reads the wall clock directly — DET002 for Now and Since.
+func Stamp() (time.Time, time.Duration) {
+	t := time.Now()         // DET002
+	return t, time.Since(t) // DET002
+}
+
+// Roll uses the unseeded global source — the import is the DET003
+// finding; this use is why the import rule exists.
+func Roll() int {
+	return rand.Intn(6)
+}

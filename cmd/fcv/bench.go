@@ -7,7 +7,6 @@ import (
 	"os"
 	"runtime"
 	"testing"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/designs"
@@ -112,7 +111,7 @@ func runBench(args []string, out *os.File) error {
 	if *manifestPath != "" {
 		col = obs.New()
 	}
-	benchStart := time.Now()
+	benchStart := obs.Now()
 	m := BenchMetrics{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	// RTL simulation throughput (the S1 workload, shortened).
@@ -142,9 +141,9 @@ func runBench(args []string, out *os.File) error {
 	sim.Run(*cycles / 10) // warm-up
 	sim.SetObserver(col)
 	for r := 0; r < *reps; r++ {
-		start := time.Now()
+		start := obs.Now()
 		sim.Run(*cycles)
-		if rate := float64(*cycles) / time.Since(start).Seconds(); rate > m.RTLCyclesPerSec {
+		if rate := float64(*cycles) / obs.Now().Sub(start).Seconds(); rate > m.RTLCyclesPerSec {
 			m.RTLCyclesPerSec = rate
 		}
 		sim.SetObserver(nil)
@@ -166,12 +165,12 @@ func runBench(args []string, out *os.File) error {
 		if r > 0 {
 			o.Obs = nil
 		}
-		t1 := time.Now()
+		t1 := obs.Now()
 		rep := fleet.Verify(items, o)
 		if r == 0 {
 			coldRep = rep
 		}
-		if rate := float64(len(items)) / time.Since(t1).Seconds(); rate > m.FleetDesignsPerSecJ1 {
+		if rate := float64(len(items)) / obs.Now().Sub(t1).Seconds(); rate > m.FleetDesignsPerSecJ1 {
 			m.FleetDesignsPerSecJ1 = rate
 		}
 	}
@@ -180,10 +179,10 @@ func runBench(args []string, out *os.File) error {
 		if r > 0 {
 			o.Obs = nil
 		}
-		tn := time.Now()
+		tn := obs.Now()
 		rep := fleet.Verify(items, o)
 		m.FleetWorkersJN = rep.Workers
-		if rate := float64(len(items)) / time.Since(tn).Seconds(); rate > m.FleetDesignsPerSecJN {
+		if rate := float64(len(items)) / obs.Now().Sub(tn).Seconds(); rate > m.FleetDesignsPerSecJN {
 			m.FleetDesignsPerSecJN = rate
 		}
 	}
@@ -209,9 +208,9 @@ func runBench(args []string, out *os.File) error {
 		}
 		o := opts(1)
 		o.Obs, o.DiskCache = nil, dc
-		t0 := time.Now()
+		t0 := obs.Now()
 		fleet.Verify(items, o)
-		if rate := float64(len(items)) / time.Since(t0).Seconds(); rate > m.DiskColdDesignsPerSec {
+		if rate := float64(len(items)) / obs.Now().Sub(t0).Seconds(); rate > m.DiskColdDesignsPerSec {
 			m.DiskColdDesignsPerSec = rate
 		}
 		dcw, err := fleet.OpenDiskCache(diskDir)
@@ -220,9 +219,9 @@ func runBench(args []string, out *os.File) error {
 		}
 		ow := opts(1)
 		ow.Obs, ow.DiskCache = nil, dcw
-		t0 = time.Now()
+		t0 = obs.Now()
 		fleet.Verify(items, ow)
-		if rate := float64(len(items)) / time.Since(t0).Seconds(); rate > m.DiskWarmDesignsPerSec {
+		if rate := float64(len(items)) / obs.Now().Sub(t0).Seconds(); rate > m.DiskWarmDesignsPerSec {
 			m.DiskWarmDesignsPerSec = rate
 		}
 	}
@@ -286,7 +285,7 @@ func runBench(args []string, out *os.File) error {
 		col.SetGauge("bench.disk_cold_designs_per_sec", m.DiskColdDesignsPerSec)
 		col.SetGauge("bench.disk_warm_designs_per_sec", m.DiskWarmDesignsPerSec)
 		mf := buildManifest("fcv bench", coldRep, col)
-		mf.WallMS = float64(time.Since(benchStart).Microseconds()) / 1000
+		mf.WallMS = float64(obs.Now().Sub(benchStart).Microseconds()) / 1000
 		if err := mf.WriteFile(*manifestPath); err != nil {
 			return err
 		}

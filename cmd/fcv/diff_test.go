@@ -160,6 +160,68 @@ func TestDiffSeededDefect(t *testing.T) {
 	}
 }
 
+// TestDiffPhaseFixturesAcrossWorkers locks the new FCV011–FCV018
+// fixtures into the determinism spine: verify -lint over the seeded and
+// clean phase decks produces manifests that diff clean across j=1/4/16,
+// and the seeded findings carry stable IDs that survive the worker
+// sweep (same ID set at every j).
+func TestDiffPhaseFixturesAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	decks := []string{
+		"../../examples/decks/c2mos_pipe.sp",
+		"../../examples/decks/c2mos_pipe_clean.sp",
+		"../../examples/decks/nora_stage.sp",
+		"../../examples/decks/nora_stage_clean.sp",
+		"../../examples/decks/sneak_path.sp",
+		"../../examples/decks/sneak_path_clean.sp",
+	}
+	args := append([]string{"-lint", "-cells"}, decks...)
+	base, _ := verifyToManifest(t, dir, "pj1", "1", args...)
+
+	m, err := obs.ReadManifestFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseIDs := map[string]bool{}
+	for _, it := range m.Items {
+		for _, f := range it.Findings {
+			baseIDs[f.ID] = true
+		}
+	}
+	if len(baseIDs) == 0 {
+		t.Fatal("seeded fixtures produced no findings in the manifest")
+	}
+
+	for _, j := range []string{"4", "16"} {
+		cur, _ := verifyToManifest(t, dir, "pj"+j, j, args...)
+		if err := runDiff([]string{base, cur}, devnull); err != nil {
+			t.Errorf("diff of phase fixtures j=1 vs j=%s: %v", j, err)
+		}
+		mc, err := obs.ReadManifestFile(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curIDs := map[string]bool{}
+		for _, it := range mc.Items {
+			for _, f := range it.Findings {
+				curIDs[f.ID] = true
+				if !baseIDs[f.ID] {
+					t.Errorf("j=%s introduced finding ID %s missing at j=1", j, f.ID)
+				}
+			}
+		}
+		if len(curIDs) != len(baseIDs) {
+			t.Errorf("j=%s finding IDs = %d, want %d", j, len(curIDs), len(baseIDs))
+		}
+	}
+}
+
 // TestDiffRenameInvariance renames the deck file (which renames every
 // item, since -cells items are named deck:cell) and checks the diff is
 // still empty: matching is by structural fingerprint, not item name.

@@ -148,9 +148,17 @@ func TestLintFlagHandling(t *testing.T) {
 	}
 }
 
+// seededDecks are the known-defect fixtures (beyond the broken_* naming
+// convention) and the single rule each must be caught by.
+var seededDecks = map[string]string{
+	"c2mos_pipe.sp": "FCV011",
+	"nora_stage.sp": "FCV012",
+	"sneak_path.sp": "FCV014",
+}
+
 // TestLintDeckCorpus runs every shipped example deck through the linter:
-// decks named broken_* must fail with findings, everything else ships
-// lint-clean.
+// decks named broken_* and the seeded-defect fixtures must fail with
+// findings, everything else ships lint-clean.
 func TestLintDeckCorpus(t *testing.T) {
 	decks, err := filepath.Glob("../../examples/decks/*.sp")
 	if err != nil || len(decks) == 0 {
@@ -158,7 +166,8 @@ func TestLintDeckCorpus(t *testing.T) {
 	}
 	for _, deck := range decks {
 		err := run("lint", []string{deck})
-		if strings.HasPrefix(filepath.Base(deck), "broken") {
+		_, seeded := seededDecks[filepath.Base(deck)]
+		if seeded || strings.HasPrefix(filepath.Base(deck), "broken") {
 			if !errors.Is(err, errLintFindings) {
 				t.Errorf("%s: %v, want errLintFindings", deck, err)
 			}
@@ -166,6 +175,39 @@ func TestLintDeckCorpus(t *testing.T) {
 		}
 		if err != nil {
 			t.Errorf("%s: %v, want lint-clean", deck, err)
+		}
+	}
+}
+
+// TestLintSeededPhaseFixtures pins the known-answer labels of the
+// FCV011/FCV012/FCV014 fixtures: each seeded deck reports exactly its
+// intended rule (and only error-severity findings of that rule), and
+// the clean counterpart reports nothing at all.
+func TestLintSeededPhaseFixtures(t *testing.T) {
+	for base, wantRule := range seededDecks {
+		deck := "../../examples/decks/" + base
+		out, err := captureLint(t, []string{deck})
+		if !errors.Is(err, errLintFindings) {
+			t.Errorf("%s: err = %v, want errLintFindings", base, err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			if strings.HasPrefix(line, "lint:") {
+				continue
+			}
+			if !strings.Contains(line, wantRule) {
+				t.Errorf("%s: finding from an unintended rule (want only %s): %s", base, wantRule, line)
+			}
+		}
+
+		clean := strings.TrimSuffix(deck, ".sp") + "_clean.sp"
+		cout, cerr := captureLint(t, []string{clean})
+		if cerr != nil {
+			t.Errorf("%s clean counterpart: %v, want nil", base, cerr)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(cout), "\n") {
+			if strings.Contains(line, "FCV") && !strings.HasPrefix(line, "lint:") {
+				t.Errorf("%s clean counterpart: false positive: %s", base, line)
+			}
 		}
 	}
 }

@@ -9,11 +9,11 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/designs"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/process"
 	"repro/internal/rtl"
 	"repro/internal/shadow"
@@ -70,7 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(1997))
+	rng := obs.NewRNG(1997)
 	for i := 0; i < 200; i++ {
 		_ = rtlSim.Set("a", rng.Uint64()&0xffff)
 		_ = rtlSim.Set("b", rng.Uint64()&0xffff)

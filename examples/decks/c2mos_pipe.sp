@@ -1,0 +1,23 @@
+* Seeded defect: C²MOS pipeline with a clock-polarity miswire.
+* Known answer: FCV011 (error) on node s2 — stage 2's clock PMOS is
+* gated by phi1 instead of phi1_n, so the stage can only pull up while
+* phi1=0 and only pull down while phi1=1: no phase drives both levels.
+* Stages 1 and 3 are correct and must stay quiet.
+* Run: go run ./cmd/fcv lint examples/decks/c2mos_pipe.sp   (exit 1)
+.subckt c2mos_pipe in phi1 phi1_n out
+* stage 1 (correct): vdd -P(in)- a1 -P(phi1_n)- s1 -N(phi1)- a2 -N(in)- vss
+mp1a a1 in     vdd vdd pmos w=4 l=0.75
+mp1b s1 phi1_n a1  vdd pmos w=4 l=0.75
+mn1a s1 phi1   a2  vss nmos w=2 l=0.75
+mn1b a2 in     vss vss nmos w=2 l=0.75
+* stage 2 (DEFECT): clock PMOS gated by phi1 — same polarity as the NMOS
+mp2a b1 s1   vdd vdd pmos w=4 l=0.75
+mp2b s2 phi1 b1  vdd pmos w=4 l=0.75
+mn2a s2 phi1 b2  vss nmos w=2 l=0.75
+mn2b b2 s1   vss vss nmos w=2 l=0.75
+* stage 3 (correct)
+mp3a c1 s2     vdd vdd pmos w=4 l=0.75
+mp3b out phi1_n c1 vdd pmos w=4 l=0.75
+mn3a out phi1  c2  vss nmos w=2 l=0.75
+mn3b c2 s2     vss vss nmos w=2 l=0.75
+.ends

@@ -1,0 +1,19 @@
+* Clean counterpart of c2mos_pipe.sp: every C²MOS stage clocks its PMOS
+* with phi1_n and its NMOS with phi1, so pull-up and pull-down are both
+* enabled while phi1 is high. Known answer: no findings (exit 0) —
+* proves FCV011 does not false-fire on correct C²MOS.
+* Run: go run ./cmd/fcv lint examples/decks/c2mos_pipe_clean.sp
+.subckt c2mos_pipe_clean in phi1 phi1_n out
+mp1a a1 in     vdd vdd pmos w=4 l=0.75
+mp1b s1 phi1_n a1  vdd pmos w=4 l=0.75
+mn1a s1 phi1   a2  vss nmos w=2 l=0.75
+mn1b a2 in     vss vss nmos w=2 l=0.75
+mp2a b1 s1     vdd vdd pmos w=4 l=0.75
+mp2b s2 phi1_n b1  vdd pmos w=4 l=0.75
+mn2a s2 phi1   b2  vss nmos w=2 l=0.75
+mn2b b2 s1     vss vss nmos w=2 l=0.75
+mp3a c1 s2     vdd vdd pmos w=4 l=0.75
+mp3b out phi1_n c1 vdd pmos w=4 l=0.75
+mn3a out phi1  c2  vss nmos w=2 l=0.75
+mn3b c2 s2     vss vss nmos w=2 l=0.75
+.ends

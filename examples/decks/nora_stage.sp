@@ -1,0 +1,24 @@
+* Seeded defect: NORA/domino composition violation.
+* Known answer: FCV012 (error) on node dyn1 — the precharged dynamic
+* node of stage 1 directly gates the evaluate NMOS of stage 2, which
+* evaluates on the same phase (phi1). During precharge dyn1 is high, so
+* stage 2's tree conducts spuriously at the start of evaluate; domino
+* composition requires the static inversion (out1) in between.
+* Run: go run ./cmd/fcv lint examples/decks/nora_stage.sp   (exit 1)
+.subckt nora_stage a b phi1 out1 out2
+* stage 1: footed domino AND(a, b) with keeper and output buffer
+mpre1 dyn1 phi1 vdd vdd pmos w=4 l=0.75
+ma1   dyn1 a    x1  vss nmos w=6 l=0.75
+mb1   x1   b    x2  vss nmos w=6 l=0.75
+mft1  x2   phi1 vss vss nmos w=8 l=0.75
+mbn1  out1 dyn1 vss vss nmos w=2 l=0.75
+mbp1  out1 dyn1 vdd vdd pmos w=4 l=0.75
+mk1   dyn1 out1 vdd vdd pmos w=1 l=1.125
+* stage 2 (DEFECT): evaluate gated by dyn1 instead of out1
+mpre2 dyn2 phi1 vdd vdd pmos w=4 l=0.75
+mev2  dyn2 dyn1 x3  vss nmos w=6 l=0.75
+mft2  x3   phi1 vss vss nmos w=8 l=0.75
+mbn2  out2 dyn2 vss vss nmos w=2 l=0.75
+mbp2  out2 dyn2 vdd vdd pmos w=4 l=0.75
+mk2   dyn2 out2 vdd vdd pmos w=1 l=1.125
+.ends

@@ -1,0 +1,21 @@
+* Clean counterpart of nora_stage.sp: stage 2 evaluates on the buffered
+* static inversion out1, the legal domino cascade. Known answer: no
+* findings (exit 0) — proves FCV012 does not false-fire on properly
+* composed same-phase domino.
+* Run: go run ./cmd/fcv lint examples/decks/nora_stage_clean.sp
+.subckt nora_stage_clean a b phi1 out1 out2
+mpre1 dyn1 phi1 vdd vdd pmos w=4 l=0.75
+ma1   dyn1 a    x1  vss nmos w=6 l=0.75
+mb1   x1   b    x2  vss nmos w=6 l=0.75
+mft1  x2   phi1 vss vss nmos w=8 l=0.75
+mbn1  out1 dyn1 vss vss nmos w=2 l=0.75
+mbp1  out1 dyn1 vdd vdd pmos w=4 l=0.75
+mk1   dyn1 out1 vdd vdd pmos w=1 l=1.125
+* stage 2: evaluate gated by out1 — static inversion between stages
+mpre2 dyn2 phi1 vdd vdd pmos w=4 l=0.75
+mev2  dyn2 out1 x3  vss nmos w=6 l=0.75
+mft2  x3   phi1 vss vss nmos w=8 l=0.75
+mbn2  out2 dyn2 vss vss nmos w=2 l=0.75
+mbp2  out2 dyn2 vdd vdd pmos w=4 l=0.75
+mk2   dyn2 out2 vdd vdd pmos w=1 l=1.125
+.ends

@@ -1,0 +1,17 @@
+* Seeded defect: phase-reachable VDD–VSS drive fight on a shared bus.
+* Known answer: FCV014 (error) on node bus — a static inverter of in1
+* always drives bus, and a phi1-gated tristate of a *different* input
+* (in2) drives it too. Whenever phi1=1 and in1 ≠ in2 the two drivers
+* fight rail against rail. Local checks cannot see it (no device is
+* always on); only phase-aware pull-network analysis can.
+* Run: go run ./cmd/fcv lint examples/decks/sneak_path.sp   (exit 1)
+.subckt sneak_path in1 in2 phi1 phi1_n bus
+* static inverter: bus = !in1, always enabled
+mn1 bus in1 vss vss nmos w=2 l=0.75
+mp1 bus in1 vdd vdd pmos w=4 l=0.75
+* clocked tristate of in2 on the same bus (DEFECT: conflicting driver)
+mp2 t1  in2    vdd vdd pmos w=4 l=0.75
+mp3 bus phi1_n t1  vdd pmos w=4 l=0.75
+mn2 bus phi1   t2  vss nmos w=2 l=0.75
+mn3 t2  in2    vss vss nmos w=2 l=0.75
+.ends

@@ -1,0 +1,14 @@
+* Clean counterpart of sneak_path.sp: the clocked tristate boosts the
+* same signal the static inverter drives (in1), so both drivers always
+* agree — a legal clock-boosted bus driver. Known answer: no findings
+* (exit 0) — proves FCV014 does not false-fire on agreeing drivers.
+* Run: go run ./cmd/fcv lint examples/decks/sneak_path_clean.sp
+.subckt sneak_path_clean in1 phi1 phi1_n bus
+mn1 bus in1 vss vss nmos w=2 l=0.75
+mp1 bus in1 vdd vdd pmos w=4 l=0.75
+* booster tristate of the same input
+mp2 t1  in1    vdd vdd pmos w=4 l=0.75
+mp3 bus phi1_n t1  vdd pmos w=4 l=0.75
+mn2 bus phi1   t2  vss nmos w=2 l=0.75
+mn3 t2  in1    vss vss nmos w=2 l=0.75
+.ends

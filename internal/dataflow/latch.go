@@ -1,0 +1,247 @@
+package dataflow
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/recognize"
+)
+
+// LatchInfo augments a recognized latch with its phase behaviour.
+type LatchInfo struct {
+	// Index is the latch's position in Rec.Latches.
+	Index int
+	// Latch is the recognition record.
+	Latch *recognize.Latch
+	// Dynamic marks latches with a dynamic (domino) member group —
+	// keeper loops around domino nodes, excluded from race analysis
+	// (cascaded same-phase domino is the normal NORA/domino idiom).
+	Dynamic bool
+	// Transparent is the mask of phase assignments under which some
+	// data path into a state node of the latch conducts — the phases
+	// where the latch is open.
+	Transparent AssignMask
+}
+
+// buildLatches computes per-latch transparency.
+func (a *Analysis) buildLatches() {
+	for li := range a.Rec.Latches {
+		l := &a.Rec.Latches[li]
+		info := LatchInfo{Index: li, Latch: l}
+		stateSet := make(map[netlist.NodeID]bool, len(l.StateNodes))
+		for _, s := range l.StateNodes {
+			stateSet[s] = true
+		}
+		memberOut := make(map[netlist.NodeID]bool)
+		for _, gi := range l.Groups {
+			if a.Rec.Groups[gi].Family == recognize.FamilyDynamic {
+				info.Dynamic = true
+			}
+			for _, out := range a.Rec.Groups[gi].Outputs {
+				memberOut[out] = true
+			}
+		}
+		for _, gi := range l.Groups {
+			g := a.Rec.Groups[gi]
+			for _, out := range g.Outputs {
+				if !stateSet[out] {
+					continue
+				}
+				for _, p := range a.DrivePaths(g, out) {
+					if !a.isDataPath(p, stateSet, memberOut) {
+						continue
+					}
+					info.Transparent |= a.SatMask(p.Cond)
+				}
+			}
+		}
+		a.latches = append(a.latches, info)
+	}
+}
+
+// isDataPath reports whether a drive path carries new data into a latch
+// (as opposed to keeper feedback circulating the stored value). A path
+// counts when it originates at an external channel input, or when some
+// series device is gated by a net that is neither a clock nor part of
+// the loop (state node or member output).
+func (a *Analysis) isDataPath(p Path, stateSet, memberOut map[netlist.NodeID]bool) bool {
+	if p.External {
+		return true
+	}
+	c := a.Rec.Circuit
+	for _, d := range p.Devices {
+		if _, isCk := a.PhaseOf[d.Gate]; isCk {
+			continue
+		}
+		if c.IsSupply(d.Gate) || stateSet[d.Gate] || memberOut[d.Gate] {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Latches returns the per-latch phase info, indexed like Rec.Latches.
+func (a *Analysis) Latches() []LatchInfo {
+	return a.latches
+}
+
+// LatchMember reports whether a group belongs to any recognized latch
+// loop (its fights and float windows are storage behaviour, not
+// defects).
+func (a *Analysis) LatchMember(gi int) bool {
+	_, ok := a.latchOf[gi]
+	return ok
+}
+
+// Race is a same-phase back-to-back latch race: data launched from one
+// transparent latch can reach a second latch that is transparent under
+// the same phase assignment, racing through two stages in one phase.
+type Race struct {
+	// From and To index Rec.Latches.
+	From, To int
+	// Through is the input net of the receiving latch where the
+	// launched data arrives.
+	Through netlist.NodeID
+	// Mask is the set of assignments under which both latches are
+	// open at once.
+	Mask AssignMask
+}
+
+// LatchRaces searches the gate/channel connectivity graph for
+// same-phase latch-to-latch paths. For each non-dynamic transparent
+// latch, outputs are propagated breadth-first through combinational
+// groups; reaching a data input of a different non-dynamic latch whose
+// transparency mask overlaps the source's is a race. Dynamic latches
+// (domino keeper loops) pass data through but never race themselves.
+func (a *Analysis) LatchRaces() []Race {
+	if a.Degraded() {
+		return nil
+	}
+	type raceKey struct {
+		from, to int
+		through  netlist.NodeID
+	}
+	found := make(map[raceKey]AssignMask)
+	for _, src := range a.latches {
+		if src.Dynamic || src.Transparent == 0 {
+			continue
+		}
+		// Data inputs of a candidate sink latch: gate or channel
+		// inputs of member groups that are not clocks, not loop
+		// state, and not driven by a member group.
+		srcMembers := make(map[int]bool, len(src.Latch.Groups))
+		for _, gi := range src.Latch.Groups {
+			srcMembers[gi] = true
+		}
+		var frontier []netlist.NodeID
+		seen := make(map[netlist.NodeID]bool)
+		push := func(n netlist.NodeID) {
+			if !seen[n] {
+				seen[n] = true
+				frontier = append(frontier, n)
+			}
+		}
+		for _, gi := range src.Latch.Groups {
+			for _, out := range a.Rec.Groups[gi].Outputs {
+				push(out)
+			}
+		}
+		for len(frontier) > 0 {
+			sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+			var next []netlist.NodeID
+			for _, n := range frontier {
+				readers := append(append([]int(nil), a.gateGroups[n]...), a.chanGroups[n]...)
+				sort.Ints(readers)
+				prev := -1
+				for _, gi := range readers {
+					if gi == prev {
+						continue
+					}
+					prev = gi
+					if srcMembers[gi] {
+						continue
+					}
+					li, isMember := a.latchOf[gi]
+					if !isMember {
+						for _, out := range a.Rec.Groups[gi].Outputs {
+							if !seen[out] {
+								seen[out] = true
+								next = append(next, out)
+							}
+						}
+						continue
+					}
+					sink := a.latches[li]
+					if sink.Dynamic {
+						// Pass through domino keeper loops.
+						for _, out := range a.Rec.Groups[gi].Outputs {
+							if !seen[out] {
+								seen[out] = true
+								next = append(next, out)
+							}
+						}
+						continue
+					}
+					if li == src.Index || !a.isLatchDataInput(sink, n) {
+						continue
+					}
+					if both := src.Transparent & sink.Transparent; both != 0 {
+						k := raceKey{src.Index, li, n}
+						found[k] |= both
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	races := make([]Race, 0, len(found))
+	for k, m := range found {
+		races = append(races, Race{From: k.from, To: k.to, Through: k.through, Mask: m})
+	}
+	sort.Slice(races, func(i, j int) bool {
+		if races[i].To != races[j].To {
+			return races[i].To < races[j].To
+		}
+		if races[i].Through != races[j].Through {
+			return races[i].Through < races[j].Through
+		}
+		return races[i].From < races[j].From
+	})
+	return races
+}
+
+// isLatchDataInput reports whether net n is a data input of the latch:
+// read as a gate or channel input by a member group, and neither a
+// clock, a state node, nor a net the loop itself drives.
+func (a *Analysis) isLatchDataInput(l LatchInfo, n netlist.NodeID) bool {
+	if _, isCk := a.PhaseOf[n]; isCk {
+		return false
+	}
+	for _, s := range l.Latch.StateNodes {
+		if s == n {
+			return false
+		}
+	}
+	for _, gi := range l.Latch.Groups {
+		for _, out := range a.Rec.Groups[gi].Outputs {
+			if out == n {
+				return false
+			}
+		}
+	}
+	for _, gi := range l.Latch.Groups {
+		g := a.Rec.Groups[gi]
+		for _, in := range g.Inputs {
+			if in == n {
+				return true
+			}
+		}
+		for _, ci := range g.ChannelInputs {
+			if ci == n {
+				return true
+			}
+		}
+	}
+	return false
+}

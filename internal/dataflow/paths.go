@@ -1,0 +1,156 @@
+package dataflow
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/process"
+	"repro/internal/recognize"
+)
+
+// Path is one simple channel path from a drive source (supply rail or
+// external channel input) to a group node, with its series device set
+// and conduction condition.
+type Path struct {
+	// Devices is the series device chain, ordered source→node.
+	Devices []*netlist.Device
+	// From is the path's origin (a rail or a channel input).
+	From netlist.NodeID
+	// FromVdd / FromVss mark rail origins.
+	FromVdd, FromVss bool
+	// External marks paths originating at a channel input (a signal
+	// passing through the group, pass-transistor style).
+	External bool
+	// Cond is the series conduction condition in gate-net variables
+	// (clock nets included as plain variables; substitute with
+	// SubstClocks for a per-phase view).
+	Cond logic.Expr
+	// Clocked reports that at least one series device is gated by a
+	// clock net.
+	Clocked bool
+	// HasData reports that at least one series device is gated by a
+	// non-clock, non-supply net.
+	HasData bool
+}
+
+type pathsKey struct {
+	group int
+	node  netlist.NodeID
+}
+
+// DeviceCond returns the conduction literal of one device: Var(gate)
+// for NMOS, ¬Var(gate) for PMOS, with supply-tied gates folding to
+// constants (an NMOS gated by vss can never conduct).
+func DeviceCond(c *netlist.Circuit, d *netlist.Device) logic.Expr {
+	switch {
+	case c.IsVdd(d.Gate):
+		if d.Type == process.NMOS {
+			return logic.True
+		}
+		return logic.False
+	case c.IsVss(d.Gate):
+		if d.Type == process.NMOS {
+			return logic.False
+		}
+		return logic.True
+	case d.Type == process.NMOS:
+		return logic.Var(c.NodeName(d.Gate))
+	default:
+		return logic.Not(logic.Var(c.NodeName(d.Gate)))
+	}
+}
+
+// CanConduct reports whether a device can ever conduct: false only for
+// an NMOS gated by vss or a PMOS gated by vdd (a permanently-off
+// device; any DC path through it is dead).
+func CanConduct(c *netlist.Circuit, d *netlist.Device) bool {
+	if d.Type == process.NMOS {
+		return !c.IsVss(d.Gate)
+	}
+	return !c.IsVdd(d.Gate)
+}
+
+// DrivePaths enumerates every simple channel path that can drive a
+// group node: from vdd, from vss, and from each of the group's external
+// channel inputs. Results are memoized per (group, node) and must be
+// treated as read-only.
+func (a *Analysis) DrivePaths(g *recognize.Group, node netlist.NodeID) []Path {
+	key := pathsKey{g.Index, node}
+	if ps, ok := a.paths[key]; ok {
+		return ps
+	}
+	c := a.Rec.Circuit
+	var out []Path
+	add := func(from netlist.NodeID, vdd, vss, ext bool) {
+		for _, devs := range a.Rec.ChannelPaths(g, from, node) {
+			p := Path{Devices: devs, From: from, FromVdd: vdd, FromVss: vss, External: ext}
+			conds := make([]logic.Expr, 0, len(devs))
+			for _, d := range devs {
+				conds = append(conds, DeviceCond(c, d))
+				if _, isCk := a.PhaseOf[d.Gate]; isCk {
+					p.Clocked = true
+				} else if !c.IsSupply(d.Gate) {
+					p.HasData = true
+				}
+			}
+			p.Cond = logic.And(conds...)
+			out = append(out, p)
+		}
+	}
+	if vdd := c.FindNode("vdd"); vdd != netlist.InvalidNode {
+		add(vdd, true, false, false)
+	}
+	if vss := c.FindNode("vss"); vss != netlist.InvalidNode {
+		add(vss, false, true, false)
+	}
+	for _, ci := range g.ChannelInputs {
+		if ci != node {
+			add(ci, false, false, true)
+		}
+	}
+	a.paths[key] = out
+	return out
+}
+
+// PathNodes returns the intermediate channel nodes of a path (between
+// origin and destination, both excluded), in walk order.
+func PathNodes(p Path) []netlist.NodeID {
+	var out []netlist.NodeID
+	at := p.From
+	for i, d := range p.Devices {
+		next := d.Drain
+		if next == at {
+			next = d.Source
+		}
+		at = next
+		if i < len(p.Devices)-1 {
+			out = append(out, at)
+		}
+	}
+	return out
+}
+
+// ClockedStage reports whether a group output is a C²MOS-style clocked
+// stage: it has pull-up and pull-down rail paths, every drive path runs
+// through at least one clock-gated device, the networks depend on data,
+// and the output is not a plain complementary gate. Such a node is
+// dynamically held during its off phase — recognized storage, not a
+// floating-node defect.
+func (a *Analysis) ClockedStage(g *recognize.Group, node netlist.NodeID) bool {
+	if g == nil || a.Degraded() || len(a.PhaseNames) == 0 {
+		return false
+	}
+	if f := g.Func(node); f != nil && f.Complementary {
+		return false
+	}
+	paths := a.DrivePaths(g, node)
+	var up, down, data bool
+	for _, p := range paths {
+		if !p.Clocked {
+			return false
+		}
+		up = up || p.FromVdd
+		down = down || p.FromVss
+		data = data || p.HasData || p.External
+	}
+	return up && down && data
+}

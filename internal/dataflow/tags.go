@@ -1,0 +1,89 @@
+package dataflow
+
+import (
+	"repro/internal/netlist"
+)
+
+// tagIters bounds the propagation fixpoint. Tags only shrink, so the
+// loop terminates on its own; the cap is a safety net for pathological
+// connectivity.
+const tagIters = 32
+
+// Tags returns, for every node, the mask of phase assignments under
+// which the net can be actively driven with its transitive data sources
+// available — clock-phase propagation from the declared clock ports
+// through pass and clocked devices. Sources (ports, supplies, clocks)
+// and recognized storage (state nodes, dynamic-held nodes, which hold a
+// value across phases) carry the full mask; a driven net's mask is the
+// union over its drive paths of the assignments where the path conducts
+// and every gate net steering it is itself available. The result is
+// memoized; index it by NodeID.
+func (a *Analysis) Tags() []AssignMask {
+	if a.tags != nil {
+		return a.tags
+	}
+	c := a.Rec.Circuit
+	all := a.AllMask()
+	tags := make([]AssignMask, len(c.Nodes))
+	for i := range tags {
+		tags[i] = all
+	}
+	if a.Degraded() {
+		a.tags = tags
+		return tags
+	}
+	// pinned nodes keep the full mask regardless of drive structure.
+	pinned := make([]bool, len(c.Nodes))
+	for id := range c.Nodes {
+		n := netlist.NodeID(id)
+		if c.Nodes[id].IsPort || c.IsSupply(n) {
+			pinned[id] = true
+		}
+		if _, isCk := a.PhaseOf[n]; isCk {
+			pinned[id] = true
+		}
+		if a.dynHeld[n] != nil || a.Rec.IsState(n) {
+			pinned[id] = true
+		}
+	}
+	// Driven, unpinned nodes in ID order for a deterministic fixpoint.
+	var work []netlist.NodeID
+	for id := range c.Nodes {
+		n := netlist.NodeID(id)
+		if _, ok := a.Rec.DriverOf[n]; ok && !pinned[id] {
+			work = append(work, n)
+		}
+	}
+	for iter := 0; iter < tagIters; iter++ {
+		changed := false
+		for _, n := range work {
+			g := a.Rec.Groups[a.Rec.DriverOf[n]]
+			var m AssignMask
+			for _, p := range a.DrivePaths(g, n) {
+				pm := a.SatMask(p.Cond)
+				if p.External {
+					pm &= tags[p.From]
+				}
+				for _, d := range p.Devices {
+					if _, isCk := a.PhaseOf[d.Gate]; isCk {
+						continue
+					}
+					if c.IsSupply(d.Gate) {
+						continue
+					}
+					pm &= tags[d.Gate]
+				}
+				m |= pm
+			}
+			if m != tags[n] {
+				tags[n] = m
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	a.tags = tags
+	return tags
+}

@@ -9,7 +9,6 @@ import (
 	"runtime"
 	"strings"
 	"sync"
-	"time"
 
 	"repro/internal/checks"
 	"repro/internal/core"
@@ -19,6 +18,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/hier"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/parasitics"
 	"repro/internal/power"
 	"repro/internal/process"
@@ -333,9 +333,9 @@ func S1() (*S1Result, error) {
 	const warm = 2000
 	s.Run(warm)
 	const n = 200000
-	start := time.Now()
+	start := obs.Now()
 	s.Run(n)
-	elapsed := time.Since(start)
+	elapsed := obs.Now().Sub(start)
 	res := &S1Result{
 		CyclesPerSec:      float64(n) / elapsed.Seconds(),
 		PaperCyclesPerSec: 200,
@@ -349,7 +349,7 @@ func S1() (*S1Result, error) {
 	res.Workers = runtime.GOMAXPROCS(0)
 	var wg sync.WaitGroup
 	perWorker := 50000
-	start = time.Now()
+	start = obs.Now()
 	errs := make(chan error, res.Workers)
 	for w := 0; w < res.Workers; w++ {
 		wg.Add(1)
@@ -368,7 +368,7 @@ func S1() (*S1Result, error) {
 	if err := <-errs; err != nil {
 		return nil, err
 	}
-	res.ParallelCyclesSec = float64(res.Workers*perWorker) / time.Since(start).Seconds()
+	res.ParallelCyclesSec = float64(res.Workers*perWorker) / obs.Now().Sub(start).Seconds()
 
 	var sb strings.Builder
 	sb.WriteString("S1: RTL simulation throughput (pipeline model)\n")
@@ -501,12 +501,12 @@ func camRate(src string) (float64, int, error) {
 	_ = s.Set("we", 0)
 	_ = s.Set("key", 0xbeef)
 	n := 20000
-	start := time.Now()
+	start := obs.Now()
 	for i := 0; i < n; i++ {
 		_ = s.Set("key", uint64(i)&0xffff)
 		s.Cycle()
 	}
-	return float64(n) / time.Since(start).Seconds(), len(s.Design().Assigns), nil
+	return float64(n) / obs.Now().Sub(start).Seconds(), len(s.Design().Assigns), nil
 }
 
 // S5Result carries the full-battery filtering measurement.

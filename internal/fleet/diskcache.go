@@ -170,7 +170,7 @@ func (d *DiskCache) load(fp netlist.Fingerprint, cfg string) (*diskEntry, diskOu
 		return nil, diskCorrupt
 	}
 	d.hits.Add(1)
-	now := time.Now()
+	now := obs.Now()
 	os.Chtimes(path, now, now) // best effort: LRU recency
 	return &e, diskHit
 }

@@ -196,7 +196,7 @@ func Verify(items []Item, opt Options) *Report {
 		Results: make([]Result, len(items)),
 		Workers: workers,
 	}
-	start := time.Now()
+	start := obs.Now()
 	cfg := configKey(&opt.Core)
 	rep.ConfigKey = cfg
 	// Per-item spans are pre-created in input order under the run's
@@ -241,7 +241,7 @@ func Verify(items []Item, opt Options) *Report {
 				wait := sp.Restart()
 				sc.Emit(obs.Event{Type: "item-start"})
 				res := Result{Name: it.Name}
-				t0 := time.Now()
+				t0 := obs.Now()
 				copt := opt.Core
 				copt.Trace = sp
 				copt.Events = sc
@@ -291,7 +291,7 @@ func Verify(items []Item, opt Options) *Report {
 				} else {
 					work()
 				}
-				res.Elapsed = time.Since(t0)
+				res.Elapsed = obs.Now().Sub(t0)
 				sp.End()
 				for _, f := range res.Findings() {
 					sc.Emit(obs.Event{Type: "finding", ID: f.ID, Detail: f.Check + ": " + f.Subject})
@@ -314,7 +314,7 @@ func Verify(items []Item, opt Options) *Report {
 	wg.Wait()
 	rep.Hits, rep.Misses = int(hits), int(misses)
 	rep.DiskHits, rep.DiskMisses, rep.DiskCorrupt = int(dHits), int(dMisses), int(dCorrupt)
-	rep.Elapsed = time.Since(start)
+	rep.Elapsed = obs.Now().Sub(start)
 	root.End()
 	pass, inspect, violation, failed := rep.Counts()
 	opt.Events.Emit("run-end", fmt.Sprintf("pass=%d inspect=%d violation=%d error=%d", pass, inspect, violation, failed))

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/dataflow"
 	"repro/internal/netlist"
 	"repro/internal/recognize"
 )
@@ -109,13 +110,23 @@ type Options struct {
 	// MaxWUm and MaxLUm bound single-device geometry in µm
 	// (0: defaults 1000 and 100).
 	MaxWUm, MaxLUm float64
+	// RatioedMinStrength is the FCV016 margin: the weakest switched
+	// path must beat the strongest always-on load path by this factor
+	// (0: default 2).
+	RatioedMinStrength float64
+	// ChargeShareRatio is the FCV015 suppression threshold: with
+	// explicit node capacitances, internal/output capacitance below
+	// this ratio is harmless (0: default 0.33).
+	ChargeShareRatio float64
 }
 
-func (o Options) fanoutLimit() int { return defInt(o.FanoutLimit, 64) }
-func (o Options) maxWL() float64   { return defF(o.MaxWL, 500) }
-func (o Options) minWL() float64   { return defF(o.MinWL, 0.02) }
-func (o Options) maxW() float64    { return defF(o.MaxWUm, 1000) }
-func (o Options) maxL() float64    { return defF(o.MaxLUm, 100) }
+func (o Options) fanoutLimit() int            { return defInt(o.FanoutLimit, 64) }
+func (o Options) maxWL() float64              { return defF(o.MaxWL, 500) }
+func (o Options) minWL() float64              { return defF(o.MinWL, 0.02) }
+func (o Options) maxW() float64               { return defF(o.MaxWUm, 1000) }
+func (o Options) maxL() float64               { return defF(o.MaxLUm, 100) }
+func (o Options) ratioedMinStrength() float64 { return defF(o.RatioedMinStrength, 2) }
+func (o Options) chargeShareRatio() float64   { return defF(o.ChargeShareRatio, 0.33) }
 
 func defInt(v, d int) int {
 	if v <= 0 {
@@ -149,7 +160,20 @@ type Context struct {
 	// resistorsOn maps a node to attached resistors.
 	resistorsOn map[netlist.NodeID][]*netlist.Resistor
 
+	// df is the lazily built dataflow substrate (phase model, drive
+	// paths, dynamic nodes, latch transparency) shared by FCV011+.
+	df *dataflow.Analysis
+
 	diags *[]Diag
+}
+
+// Dataflow returns the circuit's dataflow analysis, building it on
+// first use so rule sets that exclude the phase family pay nothing.
+func (ctx *Context) Dataflow() *dataflow.Analysis {
+	if ctx.df == nil {
+		ctx.df = dataflow.Analyze(ctx.Rec)
+	}
+	return ctx.df
 }
 
 // newContext builds the shared indexes for one circuit.
@@ -204,24 +228,31 @@ type Report struct {
 	Diags []Diag
 }
 
-// sortDiags establishes the deterministic report order.
+// sortDiags establishes the deterministic report order: by cell, then
+// deck position, then rule, then the stable finding ID. Position-first
+// ordering keeps multi-rule output stable (the old rule-first order was
+// only deterministic within one rule) and reads like a compiler's
+// per-file diagnostics.
 func sortDiags(ds []Diag) {
 	sort.Slice(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
 		if a.Cell != b.Cell {
 			return a.Cell < b.Cell
 		}
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		if a.Subject != b.Subject {
-			return a.Subject < b.Subject
-		}
 		if a.Loc.File != b.Loc.File {
 			return a.Loc.File < b.Loc.File
 		}
 		if a.Loc.Line != b.Loc.Line {
 			return a.Loc.Line < b.Loc.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
 		}
 		return a.Message < b.Message
 	})
@@ -287,8 +318,12 @@ func RunRecognized(rec *recognize.Result, opt Options) *Report {
 		rule.Check(ctx)
 	}
 	applyWaivers(diags, opt.Waivers)
+	// Sort before attaching IDs (so "#n" disambiguation of symmetric
+	// subjects follows report order), then re-sort: the IDs now break
+	// any remaining ties, making the order a pure function of content.
 	sortDiags(diags)
 	attachIDs(diags, rec.Circuit)
+	sortDiags(diags)
 	return &Report{Diags: diags}
 }
 

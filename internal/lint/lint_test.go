@@ -462,11 +462,13 @@ mp y a vdd vdd pmos w=4 l=0.75
 
 func TestRuleRegistryStable(t *testing.T) {
 	rules := DefaultRules()
-	if len(rules) != 10 {
-		t.Fatalf("rule count = %d, want 10", len(rules))
+	if len(rules) != 18 {
+		t.Fatalf("rule count = %d, want 18", len(rules))
 	}
 	want := []string{"FCV001", "FCV002", "FCV003", "FCV004", "FCV005",
-		"FCV006", "FCV007", "FCV008", "FCV009", "FCV010"}
+		"FCV006", "FCV007", "FCV008", "FCV009", "FCV010",
+		"FCV011", "FCV012", "FCV013", "FCV014", "FCV015",
+		"FCV016", "FCV017", "FCV018"}
 	for i, r := range rules {
 		if r.ID() != want[i] {
 			t.Errorf("rule %d = %s, want %s", i, r.ID(), want[i])

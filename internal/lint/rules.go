@@ -64,6 +64,14 @@ func DefaultRules() []Rule {
 		&rule{UnusedCellRuleID, Info, "unused cell: defined in the library but unreachable from the top", nil},
 		&rule{"FCV009", Warn, "shadowed interface name: case-colliding node names or a port connected to nothing", checkShadowedNames},
 		&rule{"FCV010", Warn, "fanout ceiling: one node drives more gates than the configured limit", checkFanout},
+		&rule{"FCV011", Error, "clocked-stage discipline: no phase enables both pull-up and pull-down (C²MOS polarity miswire)", checkClockedStageDiscipline},
+		&rule{"FCV012", Error, "NORA/domino discipline: dynamic node directly gates a same-phase dynamic evaluate device", checkNoraDiscipline},
+		&rule{"FCV013", Error, "same-phase latch race: data crosses two transparent latches in one phase", checkLatchRace},
+		&rule{"FCV014", Error, "phase-reachable drive fight: VDD and VSS drive one node under some phase assignment", checkPhaseFight},
+		&rule{"FCV015", Warn, "charge-sharing exposure: keeperless dynamic node with internal evaluate nodes", checkChargeSharing},
+		&rule{"FCV016", Warn, "ratioed strength: switched network does not overpower the always-on load", checkRatioedStrength},
+		&rule{"FCV017", Warn, "phase-floating node: driven in some phases, floating in others, with no recognized storage", checkPhaseFloat},
+		&rule{"FCV018", Error, "dead drivers: every DC path to the gate net runs through a permanently-off device", checkDeadDrivers},
 	}
 }
 

@@ -1,0 +1,57 @@
+package obs
+
+import "time"
+
+// Now is the repo's single sanctioned wall-clock access point. All
+// other packages reach the clock through it, never through time.Now
+// directly — the fcv-analyze linter enforces this.
+//
+// Centralizing the clock keeps the determinism contract auditable: the
+// volatile fields of a manifest or event stream (durations, t_ms) are
+// exactly the values that flowed through here, and everything else must
+// be a pure function of the inputs. It also gives future sessions one
+// seam for a virtual clock in tests, without the determinism tests
+// having to mask an unknown set of call sites.
+func Now() time.Time {
+	return time.Now()
+}
+
+// RNG is a small, seeded, deterministic pseudo-random generator
+// (splitmix64). Packages that need reproducible pseudo-random streams —
+// RTL stimulus, example shadow runs — use it instead of math/rand, for
+// two reasons the linter enforces: the zero-dependency stream is pinned
+// by this file (math/rand's sequence is not guaranteed across Go
+// releases, so golden traces would rot), and a package-level
+// math/rand import invites the unseeded global source, which breaks
+// replayability. The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator with the given seed. Equal seeds produce
+// equal streams on every platform and Go release.
+func NewRNG(seed int64) *RNG {
+	return &RNG{state: uint64(seed)}
+}
+
+// Uint64 returns the next value of the stream (splitmix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("obs: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}

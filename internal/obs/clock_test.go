@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNowIsWallClock(t *testing.T) {
+	before := time.Now()
+	got := Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("equal seeds diverged at step %d", i)
+		}
+	}
+	// Splitmix64 is pinned: the stream is part of the contract, not an
+	// implementation detail, so golden traces built on it never rot.
+	r := NewRNG(0)
+	if got := r.Uint64(); got != 0xe220a8397b1dcdaf {
+		t.Errorf("splitmix64(0) first value = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+	if got := NewRNG(1).Uint64(); got == NewRNG(2).Uint64() {
+		t.Errorf("seeds 1 and 2 collide on first value: %#x", got)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) hit %d/10 values in 1000 draws", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}

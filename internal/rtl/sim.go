@@ -3,7 +3,6 @@ package rtl
 import (
 	"fmt"
 	"math/bits"
-	"time"
 
 	"repro/internal/obs"
 )
@@ -305,12 +304,12 @@ func (s *Sim) Cycle() {
 // cycleTraced is Cycle with telemetry: each phase's wall clock
 // accumulates into its rtl.phase.<name>_ms gauge and completed cycles
 // into the rtl.cycles counter. Kept off Cycle's untraced path so the
-// "telemetry disabled" hot loop has no time.Now calls.
+// "telemetry disabled" hot loop has no clock calls.
 func (s *Sim) cycleTraced() {
 	for pi, stmts := range s.phaseStmts {
-		t0 := time.Now()
+		t0 := obs.Now()
 		s.runPhase(stmts)
-		s.obs.AddGauge(s.phaseGauges[pi], float64(time.Since(t0).Microseconds())/1000)
+		s.obs.AddGauge(s.phaseGauges[pi], float64(obs.Now().Sub(t0).Microseconds())/1000)
 	}
 	s.cycles++
 	s.recordCycleActivity()

@@ -2,17 +2,19 @@ package rtl
 
 import (
 	"fmt"
-	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Stimulus drives pseudo-random input sequences into a simulation —
 // §4.1: "Simulation requires stimulus patterns, which are either
 // manually generated or pseudo-random sequences." The generator is
 // seeded and therefore reproducible: a failing cycle number is enough to
-// replay a run.
+// replay a run. The obs.RNG stream is pinned across Go releases, so a
+// recorded (seed, cycle) pair replays forever.
 type Stimulus struct {
 	sim    *Sim
-	rng    *rand.Rand
+	rng    *obs.RNG
 	inputs []stimInput
 	// Bias is the probability of a 1 in each generated bit (default
 	// 0.5); corner-hunting runs often want 0.1/0.9 biases.
@@ -26,7 +28,7 @@ type stimInput struct {
 
 // NewStimulus prepares a generator over the named inputs.
 func NewStimulus(sim *Sim, seed int64, inputs ...string) (*Stimulus, error) {
-	st := &Stimulus{sim: sim, rng: rand.New(rand.NewSource(seed)), Bias: 0.5}
+	st := &Stimulus{sim: sim, rng: obs.NewRNG(seed), Bias: 0.5}
 	for _, in := range inputs {
 		i := sim.Design().SignalIndex(in)
 		if i < 0 {
