@@ -56,6 +56,23 @@ type BenchMetrics struct {
 	AllocsRecognize   float64 `json:"allocs_per_op_recognize"`
 	AllocsTiming      float64 `json:"allocs_per_op_timing"`
 	AllocsSettle      float64 `json:"allocs_per_op_settle"`
+	// VectorsPerSec is the packed switch-level settle throughput in
+	// stimulus vectors per second (64 lanes per settle) on the clocked
+	// domino-adder kernel; ScalarVectorsPerSec is the scalar oracle on
+	// the identical step, and LaneParallelSpeedup is their ratio — the
+	// per-settle bit-parallel win, independent of goroutine count.
+	VectorsPerSec       float64 `json:"vectors_per_sec"`
+	ScalarVectorsPerSec float64 `json:"scalar_vectors_per_sec"`
+	LaneParallelSpeedup float64 `json:"lane_parallel_speedup"`
+	// CyclesPerDay extrapolates the measured block-parallel packed-RTL
+	// rate (blocks x 64 lanes x LaneBlockWorkers goroutines on the S1
+	// pipeline) to a day — the paper's §4.1 farm yardstick (~2e9
+	// cycles/day across ~100 CPUs). LaneBlockWorkers is the worker count
+	// that measurement actually ran with (GOMAXPROCS clamped to the
+	// block count), so the baseline says unambiguously how much
+	// goroutine scaling the figure includes.
+	CyclesPerDay     float64 `json:"cycles_per_day"`
+	LaneBlockWorkers int     `json:"lane_block_workers"`
 }
 
 // benchZoo is the corpus the fleet numbers are measured over: the S5
@@ -147,6 +164,93 @@ func runBench(args []string, out *os.File) error {
 			m.RTLCyclesPerSec = rate
 		}
 		sim.SetObserver(nil)
+	}
+
+	// Bit-parallel lane throughput: the packed settle versus the scalar
+	// oracle on the same clocked domino-adder step. One packed settle
+	// carries 64 independent stimulus lanes, so the packed pass counts
+	// 64 vectors where the scalar pass counts one.
+	laneSteps := *cycles / 50
+	if laneSteps < 300 {
+		laneSteps = 300
+	}
+	scal, err := switchsim.New(designs.DominoAdder(16))
+	if err != nil {
+		return err
+	}
+	scal.Settle()
+	for r := 0; r < *reps; r++ {
+		t0 := obs.Now()
+		for i := 0; i < laneSteps; i++ {
+			scal.SetQuiet("phi", switchsim.Lo)
+			scal.Settle()
+			scal.SetQuiet("a0", switchsim.Bool(i%2 == 0))
+			scal.SetQuiet("b0", switchsim.Hi)
+			scal.SetQuiet("phi", switchsim.Hi)
+			scal.Settle()
+		}
+		if rate := float64(laneSteps) / obs.Now().Sub(t0).Seconds(); rate > m.ScalarVectorsPerSec {
+			m.ScalarVectorsPerSec = rate
+		}
+	}
+	packed, err := switchsim.NewPacked(designs.DominoAdder(16))
+	if err != nil {
+		return err
+	}
+	packed.Settle()
+	packed.SetObserver(col)
+	for r := 0; r < *reps; r++ {
+		t0 := obs.Now()
+		for i := 0; i < laneSteps; i++ {
+			packed.SetQuietAll("phi", switchsim.Lo)
+			packed.Settle()
+			lanes := uint64(i+1) * 0x9e3779b97f4a7c15
+			packed.SetQuietLanes("a0", lanes, ^lanes)
+			packed.SetQuietAll("b0", switchsim.Hi)
+			packed.SetQuietAll("phi", switchsim.Hi)
+			packed.Settle()
+		}
+		if rate := float64(laneSteps*switchsim.Lanes) / obs.Now().Sub(t0).Seconds(); rate > m.VectorsPerSec {
+			m.VectorsPerSec = rate
+		}
+		packed.SetObserver(nil)
+	}
+	if m.ScalarVectorsPerSec > 0 {
+		m.LaneParallelSpeedup = m.VectorsPerSec / m.ScalarVectorsPerSec
+	}
+
+	// Block-parallel packed RTL on the S1 pipeline: independent 64-lane
+	// blocks across goroutine workers, extrapolated to cycles/day.
+	pipeDesign, err := rtl.Elaborate(prog)
+	if err != nil {
+		return err
+	}
+	bcfg := rtl.BlockConfig{
+		Blocks: 4 * m.GOMAXPROCS,
+		Cycles: *cycles / 40,
+		Seed:   9,
+		Inputs: []string{"run"},
+	}
+	if bcfg.Cycles < 50 {
+		bcfg.Cycles = 50
+	}
+	m.LaneBlockWorkers = m.GOMAXPROCS
+	if m.LaneBlockWorkers > bcfg.Blocks {
+		m.LaneBlockWorkers = bcfg.Blocks
+	}
+	for r := 0; r < *reps; r++ {
+		o := col
+		if r > 0 {
+			o = nil
+		}
+		t0 := obs.Now()
+		if _, err := rtl.RunBlocks(pipeDesign, bcfg, o); err != nil {
+			return err
+		}
+		laneCycles := float64(bcfg.Blocks) * float64(bcfg.Cycles) * rtl.Lanes
+		if rate := laneCycles / obs.Now().Sub(t0).Seconds() * 86400; rate > m.CyclesPerDay {
+			m.CyclesPerDay = rate
+		}
 	}
 
 	// Cold-cache fleet rates at -j 1 and -j GOMAXPROCS.
@@ -284,6 +388,9 @@ func runBench(args []string, out *os.File) error {
 		col.SetGauge("bench.cache_hit_pct", m.CacheHitPct)
 		col.SetGauge("bench.disk_cold_designs_per_sec", m.DiskColdDesignsPerSec)
 		col.SetGauge("bench.disk_warm_designs_per_sec", m.DiskWarmDesignsPerSec)
+		col.SetGauge("bench.vectors_per_sec", m.VectorsPerSec)
+		col.SetGauge("bench.lane_parallel_speedup", m.LaneParallelSpeedup)
+		col.SetGauge("bench.cycles_per_day", m.CyclesPerDay)
 		mf := buildManifest("fcv bench", coldRep, col)
 		mf.WallMS = float64(obs.Now().Sub(benchStart).Microseconds()) / 1000
 		if err := mf.WriteFile(*manifestPath); err != nil {
@@ -306,7 +413,7 @@ func runBench(args []string, out *os.File) error {
 	if err := obs.WriteFileAtomic(*outPath, b); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "bench: rtl=%.0f cycles/sec, fleet j1=%.1f jN=%.1f designs/sec (%.2fx at %d workers), cache hit=%.0f%%, disk warm=%.2fx -> %s\n",
-		m.RTLCyclesPerSec, m.FleetDesignsPerSecJ1, m.FleetDesignsPerSecJN, m.FleetSpeedup, m.FleetWorkersJN, m.CacheHitPct, m.DiskWarmSpeedup, *outPath)
+	fmt.Fprintf(out, "bench: rtl=%.0f cycles/sec, lanes=%.0f vectors/sec (%.1fx scalar), %.3g cycles/day at %d block workers, fleet j1=%.1f jN=%.1f designs/sec (%.2fx at %d workers), cache hit=%.0f%%, disk warm=%.2fx -> %s\n",
+		m.RTLCyclesPerSec, m.VectorsPerSec, m.LaneParallelSpeedup, m.CyclesPerDay, m.LaneBlockWorkers, m.FleetDesignsPerSecJ1, m.FleetDesignsPerSecJN, m.FleetSpeedup, m.FleetWorkersJN, m.CacheHitPct, m.DiskWarmSpeedup, *outPath)
 	return nil
 }

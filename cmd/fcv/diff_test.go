@@ -393,3 +393,36 @@ func TestTrendMetricKeyDrift(t *testing.T) {
 		t.Errorf("regression on shared key = %v, want errTrendRegression", err)
 	}
 }
+
+// TestTrendWatchesLaneMetrics pins the bit-parallel throughput keys
+// into the watched set — losing them from trendMetrics would silently
+// stop gating the packed kernels — and checks a regression on one of
+// them actually fails.
+func TestTrendWatchesLaneMetrics(t *testing.T) {
+	watched := map[string]bool{}
+	for _, k := range trendMetrics {
+		watched[k] = true
+	}
+	for _, k := range []string{"vectors_per_sec", "cycles_per_day", "lane_parallel_speedup"} {
+		if !watched[k] {
+			t.Errorf("trendMetrics does not watch %q", k)
+		}
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(`{"vectors_per_sec": 1000}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, "cur.json")
+	if err := os.WriteFile(cur, []byte(`{"vectors_per_sec": 100}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outFile, err := os.CreateTemp(dir, "trendout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outFile.Close()
+	if err := runTrend([]string{"-baseline", base, cur}, outFile); !errors.Is(err, errTrendRegression) {
+		t.Errorf("lane-metric regression = %v, want errTrendRegression", err)
+	}
+}

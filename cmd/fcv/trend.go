@@ -18,6 +18,9 @@ var trendMetrics = []string{
 	"rtl_cycles_per_sec",
 	"fleet_designs_per_sec_j1",
 	"fleet_designs_per_sec_jn",
+	"vectors_per_sec",
+	"cycles_per_day",
+	"lane_parallel_speedup",
 }
 
 // runTrend is the bench-trend gate: compare the current BENCH_fleet

@@ -1,0 +1,176 @@
+package equiv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/rtl"
+	"repro/internal/switchsim"
+)
+
+// SweepResult is one output's exhaustive simulation comparison.
+type SweepResult struct {
+	// Output names the compared signal/node pair ("rtl=ckt").
+	Output string
+	// Equivalent reports agreement over every input assignment.
+	Equivalent bool
+	// Assignments counts the input assignments checked (2^bits).
+	Assignments int
+	// Settles counts the packed settles those assignments cost — the
+	// 64× amortization witness: a ≤6-input cone sweeps in one settle.
+	Settles int
+	// Counterexample is the first disagreeing assignment (RTL bit
+	// variable → value), nil when equivalent.
+	Counterexample map[string]bool
+	// CircuitX marks a counterexample where the circuit settled to X
+	// (or floated) rather than the complementary value — X on a swept
+	// output is inequivalence, not a don't-care.
+	CircuitX bool
+}
+
+// truthPlane returns input bit bi's lane pattern for assignment chunk
+// ch: assignment a = ch*64+lane assigns bit bi the value a>>bi&1, so
+// the first six bits cycle within a chunk word (the classic truth-table
+// constants) and higher bits are constant planes selected by the chunk.
+func truthPlane(bi, ch int) uint64 {
+	if bi < 6 {
+		// 0xAAAA..., 0xCCCC..., 0xF0F0..., 0xFF00..., ...: bit l of
+		// plane bi is l>>bi&1.
+		var p uint64
+		for l := 0; l < 64; l++ {
+			if l>>uint(bi)&1 == 1 {
+				p |= 1 << uint(l)
+			}
+		}
+		return p
+	}
+	if ch>>uint(bi-6)&1 == 1 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// SweepCombinational exhaustively compares RTL outputs against circuit
+// nodes by packed switch-level simulation: every assignment of the
+// bound input bits is driven through the circuit, 64 assignments per
+// settle, and each settled lane is checked against the bit-blasted RTL
+// function evaluated at that lane's assignment. Unlike the BDD-based
+// CompareCombinational, this path exercises the real switch-level
+// electrical model — charge sharing, fights and X propagation included
+// — so an output that floats or settles to X under some assignment is
+// reported as a counterexample. clocks, when non-empty, names circuit
+// nodes pulsed low (precharge, inputs applied) then high (evaluate)
+// around every chunk — the domino/dynamic sweep choreography.
+func SweepCombinational(d *rtl.Design, c *netlist.Circuit, inputs, outputs []PortMap, clocks []string) ([]SweepResult, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("equiv: sweep needs at least one input")
+	}
+	if len(inputs) > 16 {
+		return nil, fmt.Errorf("equiv: %d input bits is beyond exhaustive enumeration", len(inputs))
+	}
+	wanted := make([]string, 0, len(outputs))
+	for _, o := range outputs {
+		wanted = append(wanted, o.RTLSignal)
+	}
+	sort.Strings(wanted)
+	rtlFns, err := RTLOutputFunctions(d, dedupe(wanted))
+	if err != nil {
+		return nil, err
+	}
+	sim, err := switchsim.NewPacked(c)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range inputs {
+		if c.FindNode(in.Node) == netlist.InvalidNode {
+			return nil, fmt.Errorf("equiv: unknown circuit input node %q", in.Node)
+		}
+	}
+	for _, o := range outputs {
+		if c.FindNode(o.Node) == netlist.InvalidNode {
+			return nil, fmt.Errorf("equiv: unknown circuit output node %q", o.Node)
+		}
+		vec, ok := rtlFns[o.RTLSignal]
+		if !ok || o.Bit >= len(vec) {
+			return nil, fmt.Errorf("equiv: no RTL function for %s[%d]", o.RTLSignal, o.Bit)
+		}
+	}
+
+	total := 1 << uint(len(inputs))
+	chunks := (total + switchsim.Lanes - 1) / switchsim.Lanes
+	results := make([]SweepResult, len(outputs))
+	for i, o := range outputs {
+		results[i] = SweepResult{
+			Output:      fmt.Sprintf("%s=%s", BitVar(o.RTLSignal, o.Bit), o.Node),
+			Equivalent:  true,
+			Assignments: total,
+			Settles:     chunks,
+		}
+	}
+
+	env := make(map[string]bool, len(inputs))
+	for ch := 0; ch < chunks; ch++ {
+		if len(clocks) > 0 {
+			for _, clk := range clocks {
+				sim.SetQuietAll(clk, switchsim.Lo)
+			}
+		}
+		for bi, in := range inputs {
+			pl := truthPlane(bi, ch)
+			sim.SetQuietLanes(in.Node, pl, ^pl)
+		}
+		sim.Settle()
+		if len(clocks) > 0 {
+			for _, clk := range clocks {
+				sim.SetQuietAll(clk, switchsim.Hi)
+			}
+			sim.Settle()
+		}
+		valid := total - ch*switchsim.Lanes
+		if valid > switchsim.Lanes {
+			valid = switchsim.Lanes
+		}
+		for oi, o := range outputs {
+			r := &results[oi]
+			if !r.Equivalent {
+				continue
+			}
+			hi, lo := sim.GetLanes(o.Node)
+			fn := rtlFns[o.RTLSignal][o.Bit]
+			// Build the expected plane by evaluating the RTL function at
+			// each lane's assignment, then compare word-wide.
+			var want uint64
+			for l := 0; l < valid; l++ {
+				for bi, in := range inputs {
+					env[BitVar(in.RTLSignal, in.Bit)] = truthPlane(bi, ch)>>uint(l)&1 == 1
+				}
+				if fn.Eval(env) {
+					want |= 1 << uint(l)
+				}
+			}
+			ok := (hi &^ lo & want) | (lo &^ hi &^ want)
+			bad := ^ok
+			if valid < switchsim.Lanes {
+				bad &= (1 << uint(valid)) - 1
+			}
+			if bad == 0 {
+				continue
+			}
+			// First failing lane (lowest assignment index).
+			lane := 0
+			for bad&1 == 0 {
+				bad >>= 1
+				lane++
+			}
+			r.Equivalent = false
+			r.Counterexample = make(map[string]bool, len(inputs))
+			for bi, in := range inputs {
+				r.Counterexample[BitVar(in.RTLSignal, in.Bit)] = truthPlane(bi, ch)>>uint(lane)&1 == 1
+			}
+			v := sim.GetLane(o.Node, lane)
+			r.CircuitX = v != switchsim.Hi && v != switchsim.Lo
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,192 @@
+package equiv
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/netlist"
+)
+
+func TestTruthPlaneConstants(t *testing.T) {
+	// The first six bit patterns are the classic truth-table words.
+	want := []uint64{
+		0xAAAAAAAAAAAAAAAA,
+		0xCCCCCCCCCCCCCCCC,
+		0xF0F0F0F0F0F0F0F0,
+		0xFF00FF00FF00FF00,
+		0xFFFF0000FFFF0000,
+		0xFFFFFFFF00000000,
+	}
+	for bi, w := range want {
+		if got := truthPlane(bi, 0); got != w {
+			t.Errorf("truthPlane(%d, 0) = %#x, want %#x", bi, got, w)
+		}
+		if got := truthPlane(bi, 1); got != w {
+			t.Errorf("truthPlane(%d, 1) = %#x, want %#x (chunk-invariant)", bi, got, w)
+		}
+	}
+	if truthPlane(6, 0) != 0 || truthPlane(6, 1) != ^uint64(0) {
+		t.Error("bit 6 should be the chunk's low selector bit")
+	}
+	if truthPlane(7, 1) != 0 || truthPlane(7, 2) != ^uint64(0) {
+		t.Error("bit 7 should be the chunk's second selector bit")
+	}
+}
+
+func TestSweepCombinationalNANDOneSettle(t *testing.T) {
+	d := design(t, `
+module top(a, b -> y)
+assign y = !(a & b)
+endmodule
+`)
+	results, err := SweepCombinational(d, nandCircuit(),
+		[]PortMap{{RTLSignal: "a", Bit: 0, Node: "a"}, {RTLSignal: "b", Bit: 0, Node: "b"}},
+		[]PortMap{{RTLSignal: "y", Bit: 0, Node: "y"}},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Equivalent {
+		t.Fatalf("NAND circuit should sweep clean: %+v", results)
+	}
+	if results[0].Settles != 1 {
+		t.Errorf("2-input sweep took %d settles, want 1", results[0].Settles)
+	}
+	if results[0].Assignments != 4 {
+		t.Errorf("Assignments = %d, want 4", results[0].Assignments)
+	}
+}
+
+func TestSweepCombinationalCatchesDefect(t *testing.T) {
+	d := design(t, `
+module top(a, b -> y)
+assign y = !(a & b)
+endmodule
+`)
+	bad := nandCircuit()
+	for _, dev := range bad.Devices {
+		if dev.Name == "n2" {
+			dev.Gate = bad.Node("a") // y = !(a&a) = !a: wrong at a=1,b=0
+		}
+	}
+	results, err := SweepCombinational(d, bad,
+		[]PortMap{{RTLSignal: "a", Bit: 0, Node: "a"}, {RTLSignal: "b", Bit: 0, Node: "b"}},
+		[]PortMap{{RTLSignal: "y", Bit: 0, Node: "y"}},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Equivalent {
+		t.Fatal("defective NAND swept clean")
+	}
+	if r.Counterexample == nil {
+		t.Fatal("no counterexample")
+	}
+	// The counterexample must actually distinguish: a=1, b=0.
+	if !r.Counterexample[BitVar("a", 0)] || r.Counterexample[BitVar("b", 0)] {
+		t.Errorf("wrong counterexample: %v", r.Counterexample)
+	}
+}
+
+// TestSweepCombinationalDominoAdder sweeps the 3-bit domino adder (7
+// input bits, 128 assignments) against the RTL adder in 2 settles, with
+// the precharge/evaluate clock choreography.
+func TestSweepCombinationalDominoAdder(t *testing.T) {
+	// Register-free adder (AdderRTL's sreg copy would trip the
+	// combinational-only bit blaster).
+	d := design(t, `
+module top(a[3], b[3], cin -> s[3], cout)
+wire t[4]
+assign t = {0, a} + {0, b} + {0, cin}
+assign s = t[2:0]
+assign cout = t[3]
+endmodule
+`)
+	var inputs []PortMap
+	for i := 0; i < 3; i++ {
+		inputs = append(inputs,
+			PortMap{RTLSignal: "a", Bit: i, Node: fmt.Sprintf("a%d", i)},
+			PortMap{RTLSignal: "b", Bit: i, Node: fmt.Sprintf("b%d", i)},
+		)
+	}
+	inputs = append(inputs, PortMap{RTLSignal: "cin", Bit: 0, Node: "cin"})
+	var outputs []PortMap
+	for i := 0; i < 3; i++ {
+		outputs = append(outputs, PortMap{RTLSignal: "s", Bit: i, Node: fmt.Sprintf("s%d", i)})
+	}
+	outputs = append(outputs, PortMap{RTLSignal: "cout", Bit: 0, Node: "cout"})
+
+	results, err := SweepCombinational(d, designs.DominoAdder(3), inputs, outputs, []string{"phi1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Equivalent {
+			t.Errorf("%s: inequivalent (X=%v) at %v", r.Output, r.CircuitX, r.Counterexample)
+		}
+		if r.Assignments != 128 {
+			t.Errorf("%s: Assignments = %d, want 128", r.Output, r.Assignments)
+		}
+		if r.Settles != 2 {
+			t.Errorf("%s: Settles = %d, want 2 (64 lanes per settle)", r.Output, r.Settles)
+		}
+	}
+}
+
+// TestSweepCombinationalReportsX: an output that floats for some
+// assignment is a counterexample with CircuitX set, not a don't-care.
+func TestSweepCombinationalReportsX(t *testing.T) {
+	d := design(t, `
+module top(a, b -> y)
+assign y = a
+endmodule
+`)
+	// y follows a only while b conducts the pass gate; at b=0 it floats
+	// (initially X: nothing ever drove it).
+	c := netlist.New("passgate")
+	for _, p := range []string{"a", "b", "y"} {
+		c.DeclarePort(p)
+	}
+	c.NMOS("pass_n", "b", "a", "y", 4, 0.75)
+	results, err := SweepCombinational(d, c,
+		[]PortMap{{RTLSignal: "a", Bit: 0, Node: "a"}, {RTLSignal: "b", Bit: 0, Node: "b"}},
+		[]PortMap{{RTLSignal: "y", Bit: 0, Node: "y"}},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Equivalent {
+		t.Fatal("floating output swept clean")
+	}
+	if !r.CircuitX {
+		t.Errorf("expected an X counterexample, got %v", r.Counterexample)
+	}
+	if r.Counterexample[BitVar("b", 0)] {
+		t.Error("X should occur where the pass gate is off (b=0)")
+	}
+}
+
+func TestSweepCombinationalInputBound(t *testing.T) {
+	d := design(t, `
+module top(a -> y)
+assign y = a
+endmodule
+`)
+	c := netlist.New("x")
+	c.DeclarePort("a")
+	inputs := make([]PortMap, 17)
+	for i := range inputs {
+		inputs[i] = PortMap{RTLSignal: "a", Bit: 0, Node: "a"}
+	}
+	_, err := SweepCombinational(d, c, inputs, []PortMap{{RTLSignal: "a", Bit: 0, Node: "a"}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "exhaustive") {
+		t.Errorf("17-bit sweep should be rejected, got %v", err)
+	}
+}

@@ -1,0 +1,314 @@
+package shadow
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/netlist"
+	"repro/internal/rtl"
+	"repro/internal/switchsim"
+)
+
+// PackedMismatch records one lane's shadow comparison failure. Block is
+// -1 for single-shadow runs and the lane block index for RunBlocks.
+type PackedMismatch struct {
+	Block   int
+	Lane    int
+	Cycle   uint64
+	Phase   string
+	Node    string // circuit node
+	Signal  string // RTL reference
+	RTL     uint64
+	Circuit switchsim.Value
+}
+
+// String formats the mismatch for logs.
+func (m PackedMismatch) String() string {
+	blk := ""
+	if m.Block >= 0 {
+		blk = fmt.Sprintf("block %d ", m.Block)
+	}
+	return fmt.Sprintf("%slane %d cycle %d %s: circuit %s=%v, rtl %s=%d",
+		blk, m.Lane, m.Cycle, m.Phase, m.Node, m.Circuit, m.Signal, m.RTL)
+}
+
+// PackedShadow couples a 64-lane RTL simulation with a 64-lane circuit
+// block: every settle carries 64 independent stimulus vectors through
+// both sides, and every phase comparison checks all 64 lanes at once
+// with three word ops. Mismatch records carry the offending lane.
+type PackedShadow struct {
+	RTL *rtl.PackedSim
+	Ckt *switchsim.PackedSim
+	b   Binding
+
+	// Mismatches accumulates comparison failures (bounded), ordered by
+	// (cycle, phase order, node, lane) — byte-deterministic.
+	Mismatches []PackedMismatch
+	// Compared counts lane comparisons performed (64 per bound output
+	// per phase).
+	Compared int
+	// MaxMismatches bounds the log (default 100).
+	MaxMismatches int
+
+	outNodes []string
+	planeBuf []uint64
+	blockIdx int
+}
+
+// NewPacked validates the binding and returns a coupled 64-lane shadow.
+func NewPacked(rtlSim *rtl.PackedSim, ckt *switchsim.PackedSim, b Binding) (*PackedShadow, error) {
+	checkRef := func(ref string) error {
+		name, _, err := splitRef(ref)
+		if err != nil {
+			return err
+		}
+		if rtlSim.Design().SignalIndex(name) < 0 {
+			return fmt.Errorf("shadow: unknown RTL signal %q", name)
+		}
+		return nil
+	}
+	for node, sig := range b.Inputs {
+		if ckt.Circuit().FindNode(node) < 0 {
+			return nil, fmt.Errorf("shadow: input binding to unknown circuit node %q", node)
+		}
+		if err := checkRef(sig); err != nil {
+			return nil, err
+		}
+	}
+	for node, sig := range b.Outputs {
+		if ckt.Circuit().FindNode(node) < 0 {
+			return nil, fmt.Errorf("shadow: output binding to unknown circuit node %q", node)
+		}
+		if err := checkRef(sig); err != nil {
+			return nil, err
+		}
+	}
+	phases := make(map[string]bool)
+	for _, p := range rtlSim.Design().Phases {
+		phases[p] = true
+	}
+	for node, phase := range b.Clocks {
+		if ckt.Circuit().FindNode(node) < 0 {
+			return nil, fmt.Errorf("shadow: clock binding to unknown circuit node %q", node)
+		}
+		if !phases[phase] {
+			return nil, fmt.Errorf("shadow: clock %q bound to unknown phase %q", node, phase)
+		}
+	}
+	s := &PackedShadow{RTL: rtlSim, Ckt: ckt, b: b, MaxMismatches: 100, blockIdx: -1}
+	for n := range b.Outputs {
+		s.outNodes = append(s.outNodes, n)
+	}
+	sort.Strings(s.outNodes)
+	return s, nil
+}
+
+// rtlPlane reads one RTL bit across all 64 lanes as a word.
+func (s *PackedShadow) rtlPlane(ref string) uint64 {
+	name, bit, _ := splitRef(ref)
+	s.planeBuf = s.RTL.GetPlanes(name, s.planeBuf)
+	if bit >= len(s.planeBuf) {
+		return 0
+	}
+	return s.planeBuf[bit]
+}
+
+// driveInputs copies the RTL's current lane planes onto the circuit's
+// bound inputs: one plane word drives 64 circuit lanes.
+func (s *PackedShadow) driveInputs() {
+	for node, ref := range s.b.Inputs {
+		pl := s.rtlPlane(ref)
+		s.Ckt.SetQuietLanes(node, pl, ^pl)
+	}
+}
+
+// setClocks drives the circuit clocks (same value in every lane).
+func (s *PackedShadow) setClocks(active string) {
+	for node, phase := range s.b.Clocks {
+		s.Ckt.SetQuietAll(node, switchsim.Bool(phase == active))
+	}
+}
+
+// compare checks all bound outputs across all lanes after a phase: a
+// lane agrees when the circuit resolved to exactly the RTL's bit value
+// (X and floating never match). Bad lanes are recorded ascending.
+func (s *PackedShadow) compare(phase string) {
+	for _, node := range s.outNodes {
+		ref := s.b.Outputs[node]
+		want := s.rtlPlane(ref)
+		hi, lo := s.Ckt.GetLanes(node)
+		s.Compared += switchsim.Lanes
+		ok := (hi &^ lo & want) | (lo &^ hi &^ want)
+		for bad := ^ok; bad != 0; bad &= bad - 1 {
+			if len(s.Mismatches) >= s.MaxMismatches {
+				return
+			}
+			lane := trailingZeros(bad)
+			s.Mismatches = append(s.Mismatches, PackedMismatch{
+				Block:   s.blockIdx,
+				Lane:    lane,
+				Cycle:   s.RTL.Cycles(),
+				Phase:   phase,
+				Node:    node,
+				Signal:  ref,
+				RTL:     (want >> uint(lane)) & 1,
+				Circuit: s.Ckt.GetLane(node, lane),
+			})
+		}
+	}
+}
+
+// trailingZeros is bits.TrailingZeros64 without pulling math/bits into
+// the package API surface.
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Phase advances both sides through one clock phase and compares all 64
+// lanes — the same settle choreography as the scalar Shadow.
+func (s *PackedShadow) Phase(phase string) {
+	s.setClocks("")
+	s.driveInputs()
+	s.Ckt.Settle()
+	s.setClocks(phase)
+	s.Ckt.Settle()
+	s.RTL.Phase(phase)
+	s.compare(phase)
+	s.setClocks("")
+	s.Ckt.Settle()
+}
+
+// Cycle advances one full clock cycle through all RTL phases.
+func (s *PackedShadow) Cycle() {
+	for _, p := range s.RTL.Design().Phases {
+		s.Phase(p)
+	}
+}
+
+// Run executes n cycles and reports whether the shadow stayed clean.
+func (s *PackedShadow) Run(n int) bool {
+	for i := 0; i < n; i++ {
+		s.Cycle()
+	}
+	return len(s.Mismatches) == 0
+}
+
+// Report summarizes the run.
+func (s *PackedShadow) Report() string {
+	if len(s.Mismatches) == 0 {
+		return fmt.Sprintf("shadow: %d lane comparisons, no mismatches", s.Compared)
+	}
+	out := fmt.Sprintf("shadow: %d lane comparisons, %d mismatches:\n", s.Compared, len(s.Mismatches))
+	for _, m := range s.Mismatches {
+		out += "  " + m.String() + "\n"
+	}
+	return out
+}
+
+// RandomRun drives 64 independent pseudo-random vectors per cycle on
+// the given RTL inputs for n cycles, shadowing throughout.
+func (s *PackedShadow) RandomRun(n int, seed int64, inputs ...string) (bool, error) {
+	stim, err := rtl.NewPackedStimulus(s.RTL, seed, inputs...)
+	if err != nil {
+		return false, err
+	}
+	for i := 0; i < n; i++ {
+		stim.Vector()
+		s.Cycle()
+	}
+	return len(s.Mismatches) == 0, nil
+}
+
+// BlockRunConfig describes a block-parallel packed shadow run: Blocks
+// independent 64-lane shadow pairs, each seeded Seed+block.
+type BlockRunConfig struct {
+	Blocks  int
+	Cycles  int
+	Workers int // <=0 means runtime.GOMAXPROCS(0)
+	Seed    int64
+	Inputs  []string
+}
+
+// BlockReport is one block's shadow outcome.
+type BlockReport struct {
+	Block      int
+	Compared   int
+	LaneCycles uint64
+	Mismatches []PackedMismatch
+}
+
+// RunBlocks runs a block-parallel packed shadow sweep: block b builds
+// its own RTL+circuit pair over the shared (read-only) design and
+// netlist, seeds its stimulus with Seed+b, and shadows Cycles cycles of
+// 64 lanes. Every block's work is a pure function of (design, circuit,
+// binding, config, block index), so reports — including each mismatch's
+// block/lane coordinates — are byte-identical at any worker count, and
+// the returned slice is always in block order.
+func RunBlocks(d *rtl.Design, ckt *netlist.Circuit, b Binding, cfg BlockRunConfig) ([]BlockReport, error) {
+	if cfg.Blocks <= 0 {
+		return nil, fmt.Errorf("shadow: RunBlocks needs at least one block")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Blocks {
+		workers = cfg.Blocks
+	}
+	reports := make([]BlockReport, cfg.Blocks)
+	errs := make([]error, cfg.Blocks)
+	blockCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for blk := range blockCh {
+				reports[blk], errs[blk] = runShadowBlock(d, ckt, b, cfg, blk)
+			}
+		}()
+	}
+	for blk := 0; blk < cfg.Blocks; blk++ {
+		blockCh <- blk
+	}
+	close(blockCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
+}
+
+func runShadowBlock(d *rtl.Design, ckt *netlist.Circuit, b Binding, cfg BlockRunConfig, blk int) (BlockReport, error) {
+	rtlSim, err := rtl.NewPackedSimFromDesign(d)
+	if err != nil {
+		return BlockReport{}, err
+	}
+	cktSim, err := switchsim.NewPacked(ckt)
+	if err != nil {
+		return BlockReport{}, err
+	}
+	sh, err := NewPacked(rtlSim, cktSim, b)
+	if err != nil {
+		return BlockReport{}, err
+	}
+	sh.blockIdx = blk
+	if _, err := sh.RandomRun(cfg.Cycles, cfg.Seed+int64(blk), cfg.Inputs...); err != nil {
+		return BlockReport{}, err
+	}
+	return BlockReport{
+		Block:      blk,
+		Compared:   sh.Compared,
+		LaneCycles: rtlSim.LaneCycles(),
+		Mismatches: sh.Mismatches,
+	}, nil
+}

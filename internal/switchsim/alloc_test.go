@@ -31,3 +31,29 @@ func TestSettleAllocs(t *testing.T) {
 		t.Fatalf("Settle step allocates %.1f/op, want <= 2 (seed was ~8)", avg)
 	}
 }
+
+// Packed settling must be allocation-free steady-state: one settle
+// carries 64 lanes, so a single stray allocation per settle costs 64x
+// less than scalar — but the bound is still zero, because the packed
+// scratch planes are all preallocated in NewPacked.
+func TestPackedSettleAllocs(t *testing.T) {
+	c := designs.DominoAdder(16)
+	sim, err := switchsim.NewPacked(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Settle()
+	i := uint64(0)
+	avg := testing.AllocsPerRun(10, func() {
+		sim.SetQuietAll("phi", switchsim.Lo)
+		sim.Settle()
+		sim.SetQuietLanes("a0", i*0x9e3779b97f4a7c15, ^(i * 0x9e3779b97f4a7c15))
+		sim.SetQuietAll("b0", switchsim.Hi)
+		sim.SetQuietAll("phi", switchsim.Hi)
+		sim.Settle()
+		i++
+	})
+	if avg > 0 {
+		t.Fatalf("packed Settle step allocates %.1f/op, want 0", avg)
+	}
+}

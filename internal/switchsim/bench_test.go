@@ -28,3 +28,27 @@ func BenchmarkSettleKernel(b *testing.B) {
 		sim.Settle()
 	}
 }
+
+// BenchmarkPackedSettleKernel is the 64-lane twin of
+// BenchmarkSettleKernel: the same clocked domino-adder step, but every
+// settle carries 64 independent data lanes. Compare ns/op against the
+// scalar kernel and divide by 64 for the per-vector cost.
+func BenchmarkPackedSettleKernel(b *testing.B) {
+	c := designs.DominoAdder(16)
+	sim, err := switchsim.NewPacked(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.Settle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.SetQuietAll("phi", switchsim.Lo)
+		sim.Settle()
+		lanes := uint64(i) * 0x9e3779b97f4a7c15
+		sim.SetQuietLanes("a0", lanes, ^lanes)
+		sim.SetQuietAll("b0", switchsim.Hi)
+		sim.SetQuietAll("phi", switchsim.Hi)
+		sim.Settle()
+	}
+}

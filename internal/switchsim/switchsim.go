@@ -54,6 +54,52 @@ func Bool(b bool) Value {
 	return Lo
 }
 
+// topology is the static structure of one flat circuit shared by every
+// simulator instance over it: the channel-connected component (CCC)
+// partition, per-node device indexes and gate fanout. It is built once
+// and read-only afterwards, so the scalar Sim and the 64-lane PackedSim
+// embed the same topology without re-deriving it.
+type topology struct {
+	c *netlist.Circuit
+	// vdd/vss node ids (may be InvalidNode if absent).
+	vdd, vss netlist.NodeID
+	// devsByNode indexes devices by channel terminal for traversal.
+	// Every device on a non-supply node belongs to that node's
+	// component, so component-local walks can use it unfiltered.
+	devsByNode [][]*netlist.Device
+	// comp maps each node to its channel-connected component (-1 for
+	// supply rails, which belong to every component's boundary and
+	// none's interior).
+	comp      []int
+	compNodes [][]netlist.NodeID
+	compDevs  [][]*netlist.Device
+	// gateComps lists, per node, the components containing a device the
+	// node gates — the fanout cone one value change can disturb.
+	gateComps [][]int
+}
+
+// newTopology partitions a flat circuit into its static simulation
+// structure.
+func newTopology(c *netlist.Circuit) (*topology, error) {
+	if len(c.Instances) > 0 {
+		return nil, fmt.Errorf("switchsim: circuit %s has unflattened instances", c.Name)
+	}
+	t := &topology{
+		c:          c,
+		vdd:        c.FindNode(netlist.VddName),
+		vss:        c.FindNode(netlist.VssName),
+		devsByNode: make([][]*netlist.Device, len(c.Nodes)),
+	}
+	for _, d := range c.Devices {
+		t.devsByNode[d.Source] = append(t.devsByNode[d.Source], d)
+		if d.Drain != d.Source {
+			t.devsByNode[d.Drain] = append(t.devsByNode[d.Drain], d)
+		}
+	}
+	t.buildComponents()
+	return t, nil
+}
+
 // Sim is a switch-level simulation instance over one flat circuit.
 //
 // Settling is organized around the circuit's channel-connected
@@ -65,33 +111,17 @@ func Bool(b bool) Value {
 // classic full-sweep relaxation (see settleFull and its regression
 // tests).
 type Sim struct {
-	c *netlist.Circuit
+	*topology
 	// value is the current level of every node.
 	value []Value
 	// driven marks externally forced nodes (inputs, rails).
 	driven []bool
-	// vdd/vss node ids (may be InvalidNode if absent).
-	vdd, vss netlist.NodeID
-	// devsByNode indexes devices by channel terminal for traversal.
-	// Every device on a non-supply node belongs to that node's
-	// component, so component-local walks can use it unfiltered.
-	devsByNode [][]*netlist.Device
 	// steps counts relaxation iterations for reporting; compEvals
 	// counts component evaluations (the worklist's unit of work).
 	steps     int
 	compEvals int
 	// obs, when set, receives worklist counters after every Settle.
 	obs *obs.Collector
-
-	// Static partition: comp maps each node to its channel-connected
-	// component (-1 for supply rails, which belong to every component's
-	// boundary and none's interior).
-	comp      []int
-	compNodes [][]netlist.NodeID
-	compDevs  [][]*netlist.Device
-	// gateComps lists, per node, the components containing a device the
-	// node gates — the fanout cone one value change can disturb.
-	gateComps [][]int
 
 	// Dirty-component worklist (deduplicated via the dirty flags).
 	dirty     []bool
@@ -123,16 +153,14 @@ const MaxIterations = 500
 // New builds a simulator for a flat circuit. All nodes start at X except
 // the rails.
 func New(c *netlist.Circuit) (*Sim, error) {
-	if len(c.Instances) > 0 {
-		return nil, fmt.Errorf("switchsim: circuit %s has unflattened instances", c.Name)
+	t, err := newTopology(c)
+	if err != nil {
+		return nil, err
 	}
 	s := &Sim{
-		c:          c,
-		value:      make([]Value, len(c.Nodes)),
-		driven:     make([]bool, len(c.Nodes)),
-		vdd:        c.FindNode(netlist.VddName),
-		vss:        c.FindNode(netlist.VssName),
-		devsByNode: make([][]*netlist.Device, len(c.Nodes)),
+		topology: t,
+		value:    make([]Value, len(c.Nodes)),
+		driven:   make([]bool, len(c.Nodes)),
 	}
 	for i := range s.value {
 		s.value[i] = X
@@ -145,13 +173,7 @@ func New(c *netlist.Circuit) (*Sim, error) {
 		s.value[s.vss] = Lo
 		s.driven[s.vss] = true
 	}
-	for _, d := range c.Devices {
-		s.devsByNode[d.Source] = append(s.devsByNode[d.Source], d)
-		if d.Drain != d.Source {
-			s.devsByNode[d.Drain] = append(s.devsByNode[d.Drain], d)
-		}
-	}
-	s.buildComponents()
+	s.dirty = make([]bool, len(t.compDevs))
 	s.defVdd = make([]bool, len(c.Nodes))
 	s.defVss = make([]bool, len(c.Nodes))
 	s.mayVdd = make([]bool, len(c.Nodes))
@@ -171,7 +193,7 @@ func New(c *netlist.Circuit) (*Sim, error) {
 // buildComponents partitions non-supply nodes into channel-connected
 // components (union-find over source/drain edges, cut at the rails) and
 // indexes member devices and gate fanout per component.
-func (s *Sim) buildComponents() {
+func (s *topology) buildComponents() {
 	c := s.c
 	parent := make([]int, len(c.Nodes))
 	for i := range parent {
@@ -237,7 +259,6 @@ func (s *Sim) buildComponents() {
 			s.gateComps[d.Gate] = append(s.gateComps[d.Gate], ci)
 		}
 	}
-	s.dirty = make([]bool, len(s.compDevs))
 }
 
 // markComp queues a component for re-evaluation.
