@@ -73,6 +73,17 @@ type BenchMetrics struct {
 	// goroutine scaling the figure includes.
 	CyclesPerDay     float64 `json:"cycles_per_day"`
 	LaneBlockWorkers int     `json:"lane_block_workers"`
+	// Serve* metrics exist only when the run included the -serve load
+	// harness: ServeClients concurrent HTTP clients POSTing decks at an
+	// in-process `fcv serve` daemon. RequestsPerSec counts completed
+	// round-trips; P50/P99 are client-observed request latencies in
+	// milliseconds (lower is better — the trend gate watches them with
+	// the inequality reversed). omitempty keeps plain `fcv bench`
+	// artifacts free of the keys so trend's key-drift skip applies.
+	ServeClients        int     `json:"serve_clients,omitempty"`
+	ServeRequestsPerSec float64 `json:"serve_requests_per_sec,omitempty"`
+	ServeP50MS          float64 `json:"serve_p50_ms,omitempty"`
+	ServeP99MS          float64 `json:"serve_p99_ms,omitempty"`
 }
 
 // benchZoo is the corpus the fleet numbers are measured over: the S5
@@ -118,6 +129,9 @@ func runBench(args []string, out *os.File) error {
 	cycles := fs.Int("cycles", 20000, "RTL cycles to time")
 	reps := fs.Int("reps", 3, "repetitions per measurement (best rate wins)")
 	manifestPath := fs.String("manifest", "", "write a run-manifest JSON to this path")
+	serveLoad := fs.Bool("serve", false, "also load-test an in-process fcv serve daemon")
+	serveClients := fs.Int("serve-clients", 16, "concurrent clients for -serve")
+	serveReqs := fs.Int("serve-reqs", 8, "requests per client for -serve")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -369,6 +383,30 @@ func runBench(args []string, out *os.File) error {
 		si++
 	})
 
+	// HTTP daemon throughput and latency under concurrent clients. Best
+	// rate over -reps, like every other throughput here; the latency
+	// quantiles follow the winning rep so the numbers describe one run.
+	if *serveLoad {
+		if *serveClients < 1 {
+			*serveClients = 1
+		}
+		if *serveReqs < 1 {
+			*serveReqs = 1
+		}
+		for r := 0; r < *reps; r++ {
+			var sm BenchMetrics
+			if err := benchServe(&sm, *serveClients, *serveReqs); err != nil {
+				return err
+			}
+			if sm.ServeRequestsPerSec > m.ServeRequestsPerSec {
+				m.ServeClients = sm.ServeClients
+				m.ServeRequestsPerSec = sm.ServeRequestsPerSec
+				m.ServeP50MS = sm.ServeP50MS
+				m.ServeP99MS = sm.ServeP99MS
+			}
+		}
+	}
+
 	// Warm-cache hit rate: verify a large SRAM once, then re-verify.
 	sram := []fleet.Item{{Name: "sram64x32", Circuit: designs.SRAMArray(64, 32, 0)}}
 	warm := opts(1)
@@ -391,6 +429,11 @@ func runBench(args []string, out *os.File) error {
 		col.SetGauge("bench.vectors_per_sec", m.VectorsPerSec)
 		col.SetGauge("bench.lane_parallel_speedup", m.LaneParallelSpeedup)
 		col.SetGauge("bench.cycles_per_day", m.CyclesPerDay)
+		if m.ServeRequestsPerSec > 0 {
+			col.SetGauge("bench.serve_requests_per_sec", m.ServeRequestsPerSec)
+			col.SetGauge("bench.serve_p50_ms", m.ServeP50MS)
+			col.SetGauge("bench.serve_p99_ms", m.ServeP99MS)
+		}
 		mf := buildManifest("fcv bench", coldRep, col)
 		mf.WallMS = float64(obs.Now().Sub(benchStart).Microseconds()) / 1000
 		if err := mf.WriteFile(*manifestPath); err != nil {
@@ -415,5 +458,9 @@ func runBench(args []string, out *os.File) error {
 	}
 	fmt.Fprintf(out, "bench: rtl=%.0f cycles/sec, lanes=%.0f vectors/sec (%.1fx scalar), %.3g cycles/day at %d block workers, fleet j1=%.1f jN=%.1f designs/sec (%.2fx at %d workers), cache hit=%.0f%%, disk warm=%.2fx -> %s\n",
 		m.RTLCyclesPerSec, m.VectorsPerSec, m.LaneParallelSpeedup, m.CyclesPerDay, m.LaneBlockWorkers, m.FleetDesignsPerSecJ1, m.FleetDesignsPerSecJN, m.FleetSpeedup, m.FleetWorkersJN, m.CacheHitPct, m.DiskWarmSpeedup, *outPath)
+	if m.ServeRequestsPerSec > 0 {
+		fmt.Fprintf(out, "bench: serve %d clients: %.1f req/sec, p50=%.1fms p99=%.1fms\n",
+			m.ServeClients, m.ServeRequestsPerSec, m.ServeP50MS, m.ServeP99MS)
+	}
 	return nil
 }

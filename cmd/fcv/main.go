@@ -3,6 +3,7 @@
 // flattens it, and runs the requested tool:
 //
 //	fcv verify  <deck.sp>... [top] # recognition + §4.2 battery + timing (CBV)
+//	fcv serve                     # long-lived HTTP verification daemon (POST /verify)
 //	fcv lint    <deck.sp> [top]   # static netlist analysis (FCV001…) over every cell
 //	fcv recog   <deck.sp> [top]   # recognition only
 //	fcv checks  <deck.sp> [top]   # §4.2 electrical battery
@@ -109,7 +110,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|lint|recog|checks|timing|layout|cbc|sim|power|bench|manifest-check|trend|diff|report|cache> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|serve|lint|recog|checks|timing|layout|cbc|sim|power|bench|manifest-check|trend|diff|report|cache> [args]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -198,6 +199,9 @@ func run(cmd string, args []string) error {
 
 	case "verify":
 		return runVerify(args, proc, period, os.Stdout)
+
+	case "serve":
+		return runServe(args, proc, period, os.Stdout)
 
 	case "bench":
 		return runBench(args, os.Stdout)

@@ -10,27 +10,10 @@ import (
 )
 
 // buildManifest assembles the run manifest from a fleet report and its
-// telemetry collector: the collector contributes the span tree,
-// counters, gauges and histograms; the report contributes the corpus
-// half (items with their provenanced findings, verdict tallies,
-// workers, wall clock, config key).
+// telemetry collector; the heavy lifting lives in fleet.BuildManifest
+// so the serve daemon emits the same document shape.
 func buildManifest(tool string, rep *fleet.Report, col *obs.Collector) *obs.Manifest {
-	m := obs.NewManifest(tool, rep.ConfigKey, col)
-	m.Workers = rep.Workers
-	m.WallMS = float64(rep.Elapsed.Microseconds()) / 1000
-	for _, res := range rep.Results {
-		m.Items = append(m.Items, obs.ManifestItem{
-			Name:        res.Name,
-			Fingerprint: res.Fingerprint.String(),
-			Verdict:     res.VerdictString(),
-			Cached:      res.Cached,
-			ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1000,
-			Findings:    res.Findings(),
-		})
-	}
-	p, i, v, f := rep.Counts()
-	m.Verdicts = obs.VerdictTally{Pass: p, Inspect: i, Violation: v, Error: f}
-	return m
+	return fleet.BuildManifest(tool, rep, col)
 }
 
 // runManifestCheck is the manifest-check subcommand: validate a run

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/process"
+	"repro/internal/serve"
+	"repro/internal/timing"
+)
+
+// benchServe is the `fcv bench -serve` load harness: it boots an
+// in-process serve.Server on a loopback listener and drives it with
+// -serve-clients concurrent HTTP clients, each POSTing -serve-reqs
+// decks round-robin from a small generated corpus. Every deck's first
+// touch is a cold verification; repeats warm out of the daemon's
+// singleflight cache, so the measured mix covers both paths — the same
+// profile a CI fleet hammering one shared daemon produces. Results
+// land in the Serve* fields of m.
+func benchServe(m *BenchMetrics, clients, reqsPerClient int) error {
+	decks, err := serveBenchDecks()
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Core: core.Options{Proc: process.CMOS075(), Clock: timing.TwoPhase(3000)},
+		// Queue sized for the burst: every client may be waiting at once.
+		Workers: runtime.GOMAXPROCS(0),
+		Queue:   clients * reqsPerClient,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: serve.New(cfg)}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/verify"
+
+	lat := make([][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	t0 := obs.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			client := &http.Client{}
+			for i := 0; i < reqsPerClient; i++ {
+				deck := decks[(c+i)%len(decks)]
+				r0 := obs.Now()
+				resp, err := client.Post(url, "text/plain", bytes.NewReader(deck))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// 200 and 422 are both completed verifications (422 means
+				// the design has violations — some corpus members do under
+				// the timed config); anything else is a harness failure.
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+					errs[c] = fmt.Errorf("request %d: status %d, want 200 or 422", i, resp.StatusCode)
+					return
+				}
+				lat[c] = append(lat[c], float64(obs.Now().Sub(r0).Microseconds())/1000)
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	wallSec := obs.Now().Sub(t0).Seconds()
+	for c, err := range errs {
+		if err != nil {
+			return fmt.Errorf("serve bench client %d: %w", c, err)
+		}
+	}
+
+	var all []float64
+	for _, ls := range lat {
+		all = append(all, ls...)
+	}
+	sort.Float64s(all)
+	m.ServeClients = clients
+	m.ServeRequestsPerSec = float64(len(all)) / wallSec
+	m.ServeP50MS = latQuantile(all, 0.50)
+	m.ServeP99MS = latQuantile(all, 0.99)
+	return nil
+}
+
+// serveBenchDecks renders a corpus of structurally distinct designs as
+// SPICE decks, the wire format the daemon actually parses — so the
+// measurement includes the parse cost a real client pays, not just the
+// verification behind it.
+func serveBenchDecks() ([][]byte, error) {
+	circuits := []*netlist.Circuit{
+		designs.InverterChain(12),
+		designs.InverterChain(24),
+		designs.DominoAdder(8),
+		designs.DominoAdder(16),
+		designs.LatchPipeline(6, false),
+		designs.LatchPipeline(10, false),
+		designs.SRAMArray(8, 4, 0.09),
+		designs.PassMux(8),
+	}
+	decks := make([][]byte, len(circuits))
+	for i, c := range circuits {
+		var buf bytes.Buffer
+		if err := netlist.Write(&buf, nil, c); err != nil {
+			return nil, err
+		}
+		decks[i] = buf.Bytes()
+	}
+	return decks, nil
+}
+
+// latQuantile reads quantile q from an already-sorted latency slice.
+func latQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -8,12 +8,12 @@ import (
 )
 
 // trendMetrics names the BenchMetrics JSON keys the trend gate watches.
-// All watched metrics are higher-is-better throughputs; only drops
-// beyond the tolerance fail the gate (improvements always pass — they
-// become the next baseline). Metrics are looked up by key in the raw
-// documents rather than through struct fields, so a baseline written by
-// an older (or newer) fcv whose metric set drifted is skipped with a
-// warning instead of read as a zero and misjudged.
+// These are higher-is-better throughputs; only drops beyond the
+// tolerance fail the gate (improvements always pass — they become the
+// next baseline). Metrics are looked up by key in the raw documents
+// rather than through struct fields, so a baseline written by an older
+// (or newer) fcv whose metric set drifted is skipped with a warning
+// instead of read as a zero and misjudged.
 var trendMetrics = []string{
 	"rtl_cycles_per_sec",
 	"fleet_designs_per_sec_j1",
@@ -21,6 +21,17 @@ var trendMetrics = []string{
 	"vectors_per_sec",
 	"cycles_per_day",
 	"lane_parallel_speedup",
+	"serve_requests_per_sec",
+}
+
+// trendLowerBetter are the watched keys where lower is better — the
+// serve latency quantiles. A regression is the current value rising
+// more than the tolerance above the baseline. They ride the same
+// key-drift skip, so plain `fcv bench` artifacts (no -serve, keys
+// absent via omitempty) pass through the gate untouched.
+var trendLowerBetter = []string{
+	"serve_p50_ms",
+	"serve_p99_ms",
 }
 
 // runTrend is the bench-trend gate: compare the current BENCH_fleet
@@ -58,34 +69,45 @@ func runTrend(args []string, out *os.File) error {
 	tol := *tolPct / 100
 	var regressions int
 	fmt.Fprintf(out, "trend: %s vs baseline %s (tolerance ±%.0f%%)\n", rest[0], *baselinePath, *tolPct)
-	for _, name := range trendMetrics {
+	check := func(name string, lowerBetter bool) {
 		b, bok := base[name]
 		c, cok := cur[name]
 		switch {
 		case !bok && !cok:
 			fmt.Fprintf(out, "  %-26s absent from both files, skipped (metric-key drift)\n", name)
-			continue
+			return
 		case !bok:
 			fmt.Fprintf(out, "  %-26s missing from baseline, skipped (metric-key drift)\n", name)
-			continue
+			return
 		case !cok:
 			fmt.Fprintf(out, "  %-26s missing from current metrics, skipped (metric-key drift)\n", name)
-			continue
+			return
 		}
 		if b <= 0 {
 			fmt.Fprintf(out, "  %-26s baseline empty, skipped\n", name)
-			continue
+			return
 		}
 		delta := (c - b) / b * 100
 		status := "ok"
-		if c < b*(1-tol) {
+		if lowerBetter {
+			if c > b*(1+tol) {
+				status = "REGRESSION"
+				regressions++
+			}
+		} else if c < b*(1-tol) {
 			status = "REGRESSION"
 			regressions++
 		}
 		fmt.Fprintf(out, "  %-26s %12.1f -> %12.1f  %+7.1f%%  %s\n", name, b, c, delta, status)
 	}
+	for _, name := range trendMetrics {
+		check(name, false)
+	}
+	for _, name := range trendLowerBetter {
+		check(name, true)
+	}
 	if regressions > 0 {
-		return fmt.Errorf("%w: %d metric(s) dropped more than %.0f%% below baseline", errTrendRegression, regressions, *tolPct)
+		return fmt.Errorf("%w: %d metric(s) regressed more than %.0f%% past baseline", errTrendRegression, regressions, *tolPct)
 	}
 	return nil
 }

@@ -58,6 +58,26 @@ type DiskCache struct {
 	hits, misses, writes, evicts, corrupts atomic.Int64
 
 	gcMu sync.Mutex // serializes GC scans within the process
+
+	// keyLocks stripe per-entry serialization across load, store and GC
+	// removal — the disk layer's analogue of the memory cache's per-key
+	// once. Without it a long-lived daemon and a GC (its own post-write
+	// bound, or `fcv cache gc` logic running in-process) can interleave
+	// on one entry: GC's Remove lands on a file a store just refreshed
+	// (evicting the *newest* entry), or load's corrupt-eviction Remove
+	// deletes a valid entry a concurrent store re-wrote after load read
+	// the stale bytes. Striped by path hash; collisions only add
+	// serialization, never unsafety.
+	keyLocks [64]sync.Mutex
+}
+
+// keyLock returns the stripe guarding one entry path.
+func (d *DiskCache) keyLock(path string) *sync.Mutex {
+	var h uint32 = 2166136261
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint32(path[i])) * 16777619
+	}
+	return &d.keyLocks[h%uint32(len(d.keyLocks))]
 }
 
 // OpenDiskCache opens (creating if needed) a cache directory.
@@ -144,9 +164,14 @@ const (
 )
 
 // load fetches the entry for (fp, cfg). A hit refreshes the entry's
-// mtime so GC's LRU ordering tracks use, not just creation.
+// mtime so GC's LRU ordering tracks use, not just creation. The whole
+// read-judge-evict sequence holds the entry's key lock so a concurrent
+// store or GC on the same key cannot interleave (see keyLocks).
 func (d *DiskCache) load(fp netlist.Fingerprint, cfg string) (*diskEntry, diskOutcome) {
 	path := d.entryPath(fp, cfg)
+	mu := d.keyLock(path)
+	mu.Lock()
+	defer mu.Unlock()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -203,7 +228,14 @@ func (d *DiskCache) store(fp netlist.Fingerprint, cfg string, rep *core.Report) 
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return 0, fmt.Errorf("fleet: disk cache store: %w", err)
 	}
-	if err := obs.WriteFileAtomic(path, data); err != nil {
+	// The write holds the key lock (released before the post-write GC,
+	// which takes key locks itself) so a concurrent load or GC removal
+	// of this entry serializes against it.
+	mu := d.keyLock(path)
+	mu.Lock()
+	err = obs.WriteFileAtomic(path, data)
+	mu.Unlock()
+	if err != nil {
 		return 0, fmt.Errorf("fleet: disk cache store: %w", err)
 	}
 	d.writes.Add(1)
@@ -237,15 +269,30 @@ func (d *DiskCache) scan() ([]diskFile, error) {
 	return files, err
 }
 
+// testHookGCScan, when non-nil, runs between GC's directory scan and
+// its first removal — a seam for the regression tests to interleave a
+// store/load with an in-flight GC deterministically.
+var testHookGCScan func()
+
 // GC evicts least-recently-used entries until the cache's total size
 // is at most maxBytes (0 removes everything). Returns the number of
 // entries removed and the bytes freed.
+//
+// Eviction is per-key race-safe: each removal holds the entry's key
+// lock and re-checks the file's mtime against the scan snapshot first.
+// An entry touched since the scan — a store rewrote it, or a load's
+// hit refreshed its recency — is no longer the LRU candidate the scan
+// judged it to be and is skipped, so a GC racing a live daemon can
+// never evict an entry that just became the cache's freshest.
 func (d *DiskCache) GC(maxBytes int64) (removed int, freed int64, err error) {
 	d.gcMu.Lock()
 	defer d.gcMu.Unlock()
 	files, err := d.scan()
 	if err != nil {
 		return 0, 0, fmt.Errorf("fleet: disk cache gc: %w", err)
+	}
+	if testHookGCScan != nil {
+		testHookGCScan()
 	}
 	var total int64
 	for _, f := range files {
@@ -264,8 +311,21 @@ func (d *DiskCache) GC(maxBytes int64) (removed int, freed int64, err error) {
 		if total <= maxBytes {
 			break
 		}
-		if rmErr := os.Remove(f.path); rmErr != nil {
+		mu := d.keyLock(f.path)
+		mu.Lock()
+		info, statErr := os.Stat(f.path)
+		if statErr != nil {
+			mu.Unlock()
 			continue // another process got it first
+		}
+		if !info.ModTime().Equal(f.mtime) {
+			mu.Unlock()
+			continue // touched since the scan: recently used, not LRU
+		}
+		rmErr := os.Remove(f.path)
+		mu.Unlock()
+		if rmErr != nil {
+			continue
 		}
 		total -= f.size
 		freed += f.size

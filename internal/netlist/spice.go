@@ -319,6 +319,18 @@ func Write(w io.Writer, lib *Library, top *Circuit) error {
 	return bw.Flush()
 }
 
+// spiceName returns name carrying the element-letter prefix the parser
+// dispatches on, prepending it when the stored name lacks one. Names
+// from parsed decks already start with the right letter and pass
+// through untouched; programmatically built circuits (u0_n, inv3, ...)
+// get the prefix so Write's round-trip contract holds for them too.
+func spiceName(name string, prefix byte) string {
+	if name != "" && name[0]|0x20 == prefix {
+		return name
+	}
+	return string(prefix) + name
+}
+
 // writeCircuit emits one circuit, optionally wrapped in .subckt/.ends.
 func writeCircuit(w io.Writer, c *Circuit, asSubckt bool) error {
 	if asSubckt {
@@ -330,7 +342,7 @@ func writeCircuit(w io.Writer, c *Circuit, asSubckt bool) error {
 	}
 	for _, d := range c.Devices {
 		fmt.Fprintf(w, "%s %s %s %s %s %s w=%g l=%g",
-			d.Name, c.NodeName(d.Drain), c.NodeName(d.Gate), c.NodeName(d.Source),
+			spiceName(d.Name, 'm'), c.NodeName(d.Drain), c.NodeName(d.Gate), c.NodeName(d.Source),
 			c.NodeName(d.Bulk), d.Type, d.W, d.L)
 		if d.ExtraL > 0 {
 			fmt.Fprintf(w, " extral=%g", d.ExtraL)
@@ -341,7 +353,7 @@ func writeCircuit(w io.Writer, c *Circuit, asSubckt bool) error {
 		fmt.Fprintln(w)
 	}
 	for _, r := range c.Resistors {
-		fmt.Fprintf(w, "%s %s %s %g\n", r.Name, c.NodeName(r.A), c.NodeName(r.B), r.Ohms)
+		fmt.Fprintf(w, "%s %s %s %g\n", spiceName(r.Name, 'r'), c.NodeName(r.A), c.NodeName(r.B), r.Ohms)
 	}
 	ci := 0
 	for _, n := range c.Nodes {
@@ -355,7 +367,7 @@ func writeCircuit(w io.Writer, c *Circuit, asSubckt bool) error {
 		for i, id := range inst.Conns {
 			conns[i] = c.NodeName(id)
 		}
-		fmt.Fprintf(w, "%s %s %s\n", inst.Name, strings.Join(conns, " "), inst.Cell)
+		fmt.Fprintf(w, "%s %s %s\n", spiceName(inst.Name, 'x'), strings.Join(conns, " "), inst.Cell)
 	}
 	// Attribute annotations last, sorted for stability.
 	for _, n := range c.Nodes {

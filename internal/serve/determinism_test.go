@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// raceDeck carries enough structure to make the verification take real
+// work (so concurrent requests genuinely overlap) and produce stable
+// findings the ID-set comparison can bite on.
+const raceDeck = `
+.subckt domino_and2 a b phi1 out
+mpre dyn phi1 vdd vdd pmos w=4 l=0.75
+ma   dyn a    x1  vss nmos w=6 l=0.75
+mb   x1  b    x2  vss nmos w=6 l=0.75
+mfoot x2 phi1 vss vss nmos w=8 l=0.75
+mbn  out dyn  vss vss nmos w=2 l=0.75
+mbp  out dyn  vdd vdd pmos w=4 l=0.75
+mkeep dyn out vdd vdd pmos w=1 l=1.125
+.ends
+x1 in_a in_b phi1 y domino_and2
+`
+
+// TestConcurrentClientsShareSingleflight is the serve determinism
+// contract: M simultaneous requests for the same deck share exactly one
+// verification through the daemon's singleflight cache, and every
+// client receives the identical finding-ID set (byte-identical IDs, not
+// just equal counts). Run under -race in CI.
+func TestConcurrentClientsShareSingleflight(t *testing.T) {
+	const clients = 8
+	cfg := testConfig()
+	// Queue sized for the whole burst: on a 1-CPU pool the default
+	// (4x workers) can legitimately 429 the stragglers, and this test
+	// is about singleflight, not backpressure.
+	cfg.Queue = clients
+	s, hs := newTestServer(t, cfg)
+
+	ids := make([][]string, clients)
+	verdicts := make([]string, clients)
+	fingerprints := make([]string, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(hs.URL+"/verify", "text/plain", strings.NewReader(raceDeck))
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer resp.Body.Close()
+			var m *obs.Manifest
+			buf := make([]byte, 0, 64<<10)
+			tmp := make([]byte, 32<<10)
+			for {
+				n, rerr := resp.Body.Read(tmp)
+				buf = append(buf, tmp[:n]...)
+				if rerr != nil {
+					break
+				}
+			}
+			m, errs[c] = obs.ParseManifest(buf)
+			if errs[c] != nil {
+				return
+			}
+			verdicts[c] = m.Items[0].Verdict
+			fingerprints[c] = m.Items[0].Fingerprint
+			for _, f := range m.Items[0].Findings {
+				ids[c] = append(ids[c], f.ID)
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+
+	// All clients observed the identical outcome.
+	want := strings.Join(ids[0], "\n")
+	for c := 1; c < clients; c++ {
+		if got := strings.Join(ids[c], "\n"); got != want {
+			t.Errorf("client %d finding-ID set diverged:\n%s\nvs client 0:\n%s", c, got, want)
+		}
+		if verdicts[c] != verdicts[0] || fingerprints[c] != fingerprints[0] {
+			t.Errorf("client %d verdict/fingerprint = %s/%s, client 0 = %s/%s",
+				c, verdicts[c], fingerprints[c], verdicts[0], fingerprints[0])
+		}
+	}
+
+	// Singleflight: the deck's key missed exactly once across all M
+	// requests; every other lookup was a hit on the shared cache.
+	st := s.StatsNow()
+	if st.Cache.Misses != 1 {
+		t.Errorf("cache misses = %d across %d concurrent clients, want exactly 1 (singleflight)", st.Cache.Misses, clients)
+	}
+	if st.Cache.Hits != clients-1 {
+		t.Errorf("cache hits = %d, want %d", st.Cache.Hits, clients-1)
+	}
+	if st.Served != clients {
+		t.Errorf("served = %d, want %d", st.Served, clients)
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// workerPool is the daemon's global verification budget: a fixed number
+// of worker tokens shared by every in-flight request, plus a bounded
+// admission queue in front of them. A request needs at least one token
+// to run; its `j` parameter is an *upper bound* — after the first token
+// is granted, up to j-1 extras are taken opportunistically (never
+// blocking), so a lone request fans out across the whole pool while a
+// loaded daemon degrades every request toward one worker instead of
+// queueing. That is the latency-first shape the agent-loop workload
+// wants: admission waits are bounded and visible (429 on overflow),
+// not unbounded convoys.
+type workerPool struct {
+	tokens   chan struct{}
+	size     int
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+// newWorkerPool builds a pool of size worker tokens admitting at most
+// maxQueue requests waiting for their first token.
+func newWorkerPool(size int, maxQueue int) *workerPool {
+	p := &workerPool{
+		tokens:   make(chan struct{}, size),
+		size:     size,
+		maxQueue: int64(maxQueue),
+	}
+	for i := 0; i < size; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// acquire obtains 1..want worker tokens. The first token may wait in
+// the admission queue (bounded by maxQueue — overflow returns ok=false
+// immediately, the caller's 429); extras beyond the first are taken
+// only if instantly free. A cancelled ctx while queued also returns
+// ok=false. queuedNow reports whether the request had to wait.
+func (p *workerPool) acquire(ctx context.Context, want int) (got int, queuedNow, ok bool) {
+	if want < 1 {
+		want = 1
+	}
+	if want > p.size {
+		want = p.size
+	}
+	// Fast path: a free token means no queueing and no queue accounting.
+	select {
+	case <-p.tokens:
+		got = 1
+	default:
+		if p.queued.Add(1) > p.maxQueue {
+			p.queued.Add(-1)
+			return 0, false, false
+		}
+		select {
+		case <-p.tokens:
+			p.queued.Add(-1)
+			got, queuedNow = 1, true
+		case <-ctx.Done():
+			p.queued.Add(-1)
+			return 0, true, false
+		}
+	}
+	for got < want {
+		select {
+		case <-p.tokens:
+			got++
+		default:
+			return got, queuedNow, true
+		}
+	}
+	return got, queuedNow, true
+}
+
+// release returns n tokens to the pool.
+func (p *workerPool) release(n int) {
+	for i := 0; i < n; i++ {
+		p.tokens <- struct{}{}
+	}
+}
+
+// available reports the current free-token count (volatile, for /stats).
+func (p *workerPool) available() int { return len(p.tokens) }
+
+// waiting reports the current admission-queue depth (volatile).
+func (p *workerPool) waiting() int64 { return p.queued.Load() }

@@ -1,0 +1,445 @@
+// Package serve is the long-lived verification service: an HTTP/JSON
+// daemon over the internal/fleet engine. The paper's methodology only
+// pays off because verification runs constantly — every edit re-checked
+// against the switch-level and timing batteries — and the agent-driven
+// flows in PAPERS.md assume the same shape: an autonomous designer
+// hammering the verifier in a tight loop where latency is the product.
+// This package turns the batch fleet into that service:
+//
+//   - POST /verify — submit a SPICE deck (request body, or ?path= when
+//     the server allows it) and get back the run manifest (the same
+//     fcv-run-manifest/v2 document `fcv verify -manifest` writes, so
+//     `fcv diff` gates HTTP results against batch runs directly), or —
+//     with ?stream=1 — the live JSONL event stream over a chunked
+//     response, ending in the manifest as its last line.
+//   - GET /stats — daemon counters: requests, admissions, rejections,
+//     cache traffic, pool occupancy, request-latency quantiles, and the
+//     merged per-request obs counters.
+//   - GET /healthz — liveness; flips to 503 once draining begins.
+//
+// Parsed results and the memory+disk verification caches stay warm
+// across requests: the daemon owns one fleet.Cache (and optionally one
+// fleet.DiskCache), so a repeated deck is a singleflight cache hit no
+// matter how many clients race on it, and a rename-only edit re-uses
+// the structural-fingerprint entry.
+//
+// Backpressure contract: a global pool of worker tokens bounds total
+// verification parallelism; each request needs one token to run and may
+// opportunistically take up to its ?j= budget when the pool is idle. At
+// most Queue requests wait for a first token; past that the daemon
+// answers 429 with Retry-After rather than queueing unboundedly —
+// callers are expected to back off and retry, never to hang.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// Config configures a verification server.
+type Config struct {
+	// Core is the base per-design verification configuration (process,
+	// clock, lint gate default). Requests may enable the lint gate per
+	// request with ?lint=1; everything else is server policy.
+	Core core.Options
+	// Workers is the global worker-token pool size shared by all
+	// requests (0 = GOMAXPROCS).
+	Workers int
+	// Queue bounds how many requests may wait for admission before the
+	// daemon answers 429 (0 = a sensible default of 4x Workers;
+	// negative = no waiting, reject unless a worker is free).
+	Queue int
+	// MaxBodyBytes caps the accepted deck size (0 = 16 MiB).
+	MaxBodyBytes int64
+	// Cache is the shared in-memory verification cache (nil = a fresh
+	// one, which is almost always what a daemon wants).
+	Cache *fleet.Cache
+	// DiskCache, when non-nil, layers the persistent cache under the
+	// memory one, exactly like `fcv verify -cache-dir`.
+	DiskCache *fleet.DiskCache
+	// AllowPathDecks permits ?path= requests that read decks from the
+	// server's filesystem. Off by default: only enable for trusted
+	// local callers (the CI smoke, a designer's own machine).
+	AllowPathDecks bool
+}
+
+// Server is the verification daemon: an http.Handler plus the warm
+// state it keeps between requests. Construct with New.
+type Server struct {
+	cfg  Config
+	pool *workerPool
+	mux  *http.ServeMux
+	col  *obs.Collector // server-lifetime telemetry (merged request counters)
+
+	start    time.Time
+	draining atomic.Bool
+
+	// Lifetime tallies, surfaced at /stats.
+	requests, served, rejected, badRequests atomic.Int64
+	cacheHits, cacheMisses                  atomic.Int64
+	diskHits, diskMisses                    atomic.Int64
+	tallyPass, tallyInspect                 atomic.Int64
+	tallyViolation, tallyError              atomic.Int64
+}
+
+// New builds a Server from cfg, filling defaults.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.Queue == 0:
+		cfg.Queue = 4 * cfg.Workers
+	case cfg.Queue < 0:
+		cfg.Queue = 0
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = fleet.NewCache()
+	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  newWorkerPool(cfg.Workers, cfg.Queue),
+		mux:   http.NewServeMux(),
+		col:   obs.New(),
+		start: obs.Now(),
+	}
+	s.mux.HandleFunc("/verify", s.handleVerify)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/", s.handleRoot)
+	return s
+}
+
+// ServeHTTP dispatches to the daemon's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips the daemon's drain state: once draining, /healthz
+// answers 503 (so load balancers stop routing here) and new /verify
+// requests are refused while in-flight ones finish. The caller pairs
+// this with http.Server.Shutdown for the connection-level half.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// handleRoot is a minimal usage page for humans poking with curl.
+func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, `fcv serve — full-custom verification service
+  POST /verify[?top=CELL&cells=1&j=N&lint=1&stream=1][&path=deck.sp]  deck in body -> run manifest
+  GET  /stats                                                         daemon counters
+  GET  /healthz                                                       liveness
+`)
+}
+
+// handleHealthz answers liveness probes; draining flips it to 503.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// boolParam parses a query flag: absent and "0"/"false" are off.
+func boolParam(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "", "0", "false":
+		return false
+	}
+	return true
+}
+
+// handleVerify is the daemon's workhorse: admit, load the deck, run the
+// fleet with the shared caches, respond with the manifest (or stream
+// the event log).
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a SPICE deck to /verify", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	q := r.URL.Query()
+	want := 1
+	if js := q.Get("j"); js != "" {
+		j, err := strconv.Atoi(js)
+		if err != nil || j < 1 {
+			s.fail(w, http.StatusBadRequest, "bad j=%q (want a positive integer)", js)
+			return
+		}
+		want = j
+	}
+
+	// Load the deck before competing for workers: parse errors should
+	// not consume pool capacity, and a 400 should be instant.
+	items, err := s.loadItems(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	got, queued, ok := s.pool.acquire(r.Context(), want)
+	if !ok {
+		if r.Context().Err() != nil {
+			s.badRequests.Add(1)
+			return // client went away while queued; nothing to say
+		}
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "admission queue full, retry later", http.StatusTooManyRequests)
+		return
+	}
+	defer s.pool.release(got)
+	if queued {
+		s.col.Add("serve.queued", 1)
+	}
+
+	t0 := obs.Now()
+	col := obs.New()
+	opt := fleet.Options{
+		Core:      s.cfg.Core,
+		Workers:   got,
+		Cache:     s.cfg.Cache,
+		DiskCache: s.cfg.DiskCache,
+		Obs:       col,
+	}
+	if boolParam(r, "lint") {
+		opt.Core.Lint = true
+	}
+
+	stream := boolParam(r, "stream")
+	var fw *flushWriter
+	var sink *obs.EventSink
+	if stream {
+		// Status and headers go out before the run so events can flow
+		// as they happen; verdicts travel in the run-end event and the
+		// trailing manifest line instead of the status code.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fw = newFlushWriter(w)
+		sink = obs.NewEventSink(fw)
+		opt.Events = sink
+	}
+
+	rep := fleet.Verify(items, opt)
+	s.account(rep, float64(obs.Now().Sub(t0).Microseconds())/1000, col)
+	m := fleet.BuildManifest("fcv serve", rep, col)
+
+	if stream {
+		sink.Close() // flush; write errors mean the client left
+		// The trailing manifest rides the same JSONL stream, so compact
+		// the canonical (nil-normalized) document onto one line.
+		if b, err := m.JSON(); err == nil {
+			var line bytes.Buffer
+			if json.Compact(&line, b) == nil {
+				line.WriteByte('\n')
+				fw.Write(line.Bytes())
+			}
+		}
+		return
+	}
+	b, err := m.JSON()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "manifest: %v", err)
+		return
+	}
+	p, i, v, f := rep.Counts()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Fcv-Verdicts", fmt.Sprintf("pass=%d inspect=%d violation=%d error=%d", p, i, v, f))
+	if rep.HasViolations() {
+		// The verification *ran*; the design is what failed. 422 keeps
+		// that distinct from 400 (unusable request) so CI and agents can
+		// branch on the status alone.
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	}
+	w.Write(b)
+}
+
+// loadItems resolves the request's deck — body or ?path= — into fleet
+// items, honoring ?top= and ?cells=1.
+func (s *Server) loadItems(r *http.Request) ([]fleet.Item, error) {
+	q := r.URL.Query()
+	top, cells := q.Get("top"), boolParam(r, "cells")
+	if path := q.Get("path"); path != "" {
+		if !s.cfg.AllowPathDecks {
+			return nil, fmt.Errorf("path decks are disabled on this server (start with -paths)")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return fleet.ItemsFromDeck(f, path, top, cells)
+	}
+	src := q.Get("src")
+	if src == "" {
+		src = "deck.sp"
+	}
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	return fleet.ItemsFromDeck(body, src, top, cells)
+}
+
+// fail answers an unusable request and counts it.
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.badRequests.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// account merges one request's outcome into the daemon's lifetime
+// telemetry: tallies, cache traffic, request latency, and the request
+// collector's deterministic counters (sorted before merging so the
+// merge order — and any future iteration-order-sensitive consumer — is
+// deterministic).
+func (s *Server) account(rep *fleet.Report, elapsedMS float64, col *obs.Collector) {
+	s.served.Add(1)
+	s.cacheHits.Add(int64(rep.Hits))
+	s.cacheMisses.Add(int64(rep.Misses))
+	s.diskHits.Add(int64(rep.DiskHits))
+	s.diskMisses.Add(int64(rep.DiskMisses))
+	p, i, v, f := rep.Counts()
+	s.tallyPass.Add(int64(p))
+	s.tallyInspect.Add(int64(i))
+	s.tallyViolation.Add(int64(v))
+	s.tallyError.Add(int64(f))
+	s.col.Observe("serve.request_ms", elapsedMS)
+	counters := col.Counters()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.col.Add(name, counters[name])
+	}
+}
+
+// Stats is the /stats document: daemon occupancy, lifetime traffic, and
+// the merged request-counter map. Field order is the wire order.
+type Stats struct {
+	UptimeMS      float64 `json:"uptime_ms"`
+	Draining      bool    `json:"draining"`
+	PoolWorkers   int     `json:"pool_workers"`
+	PoolAvailable int     `json:"pool_available"`
+	QueueDepth    int64   `json:"queue_depth"`
+	QueueLimit    int     `json:"queue_limit"`
+	// Requests counts every /verify POST reaching admission; Served the
+	// ones that ran to a manifest; Rejected the 429s; BadRequests the
+	// 4xx-class refusals (parse errors, disabled path decks, dropped
+	// clients).
+	Requests    int64 `json:"requests"`
+	Served      int64 `json:"served"`
+	Rejected    int64 `json:"rejected"`
+	BadRequests int64 `json:"bad_requests"`
+	// Cache is the shared in-memory layer's lifetime traffic as seen by
+	// this daemon (hits accumulate across requests — the warm-path
+	// evidence the CI smoke asserts on).
+	Cache struct {
+		Entries int   `json:"entries"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+	} `json:"cache"`
+	Disk *fleet.DiskStats `json:"disk,omitempty"`
+	// Verdicts tallies every served item's outcome since startup.
+	Verdicts struct {
+		Pass      int64 `json:"pass"`
+		Inspect   int64 `json:"inspect"`
+		Violation int64 `json:"violation"`
+		Error     int64 `json:"error"`
+	} `json:"verdicts"`
+	// RequestP50MS / RequestP99MS are interpolated request-latency
+	// quantiles from the serve.request_ms histogram (volatile).
+	RequestP50MS float64 `json:"request_p50_ms"`
+	RequestP99MS float64 `json:"request_p99_ms"`
+	// Counters are the merged deterministic per-request obs counters
+	// (fleet.*, core.*, recognize.*, … — plus serve.queued).
+	Counters map[string]int64 `json:"counters"`
+}
+
+// StatsNow snapshots the daemon's current stats.
+func (s *Server) StatsNow() Stats {
+	var st Stats
+	st.UptimeMS = float64(obs.Now().Sub(s.start).Microseconds()) / 1000
+	st.Draining = s.draining.Load()
+	st.PoolWorkers = s.pool.size
+	st.PoolAvailable = s.pool.available()
+	st.QueueDepth = s.pool.waiting()
+	st.QueueLimit = int(s.pool.maxQueue)
+	st.Requests = s.requests.Load()
+	st.Served = s.served.Load()
+	st.Rejected = s.rejected.Load()
+	st.BadRequests = s.badRequests.Load()
+	st.Cache.Entries = s.cfg.Cache.Len()
+	st.Cache.Hits = s.cacheHits.Load()
+	st.Cache.Misses = s.cacheMisses.Load()
+	if s.cfg.DiskCache != nil {
+		if ds, err := s.cfg.DiskCache.Stats(); err == nil {
+			st.Disk = &ds
+		}
+	}
+	st.Verdicts.Pass = s.tallyPass.Load()
+	st.Verdicts.Inspect = s.tallyInspect.Load()
+	st.Verdicts.Violation = s.tallyViolation.Load()
+	st.Verdicts.Error = s.tallyError.Load()
+	if h, ok := s.col.Histograms()["serve.request_ms"]; ok {
+		st.RequestP50MS = h.Quantile(0.50)
+		st.RequestP99MS = h.Quantile(0.99)
+	}
+	st.Counters = s.col.Counters()
+	if st.Counters == nil {
+		st.Counters = map[string]int64{}
+	}
+	return st
+}
+
+// handleStats renders the stats document.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.StatsNow()
+	b, err := json.MarshalIndent(&st, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+// flushWriter pushes every write through the ResponseWriter's flusher
+// so streamed events reach the client as they happen, not when the
+// response buffer fills.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func newFlushWriter(w http.ResponseWriter) *flushWriter {
+	f, _ := w.(http.Flusher)
+	return &flushWriter{w: w, f: f}
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
