@@ -4,6 +4,7 @@
 //
 //	fcv verify  <deck.sp>... [top] # recognition + §4.2 battery + timing (CBV)
 //	fcv serve                     # long-lived HTTP verification daemon (POST /verify)
+//	fcv top                       # live terminal dashboard over a running daemon
 //	fcv lint    <deck.sp> [top]   # static netlist analysis (FCV001…) over every cell
 //	fcv recog   <deck.sp> [top]   # recognition only
 //	fcv checks  <deck.sp> [top]   # §4.2 electrical battery
@@ -110,7 +111,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|serve|lint|recog|checks|timing|layout|cbc|sim|power|bench|manifest-check|trend|diff|report|cache> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fcv [flags] <verify|serve|top|lint|recog|checks|timing|layout|cbc|sim|power|bench|manifest-check|trend|diff|report|cache> [args]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -202,6 +203,9 @@ func run(cmd string, args []string) error {
 
 	case "serve":
 		return runServe(args, proc, period, os.Stdout)
+
+	case "top":
+		return runTop(args, os.Stdout)
 
 	case "bench":
 		return runBench(args, os.Stdout)

@@ -20,14 +20,22 @@ import (
 
 // runServe is the serve subcommand: the long-lived verification daemon.
 //
-//	fcv serve [-addr 127.0.0.1:8117] [-pool N] [-queue N] [-cache-dir d] [-lint] [-paths] [-drain-timeout 30s]
+//	fcv serve [-addr 127.0.0.1:8117] [-pool N] [-queue N] [-cache-dir d] [-lint] [-paths]
+//	          [-access-log f.jsonl] [-slow-ms N] [-drain-timeout 30s]
 //
 // The daemon keeps the in-memory (and, with -cache-dir, on-disk)
 // verification caches warm across requests and answers:
 //
-//	POST /verify   deck in the body (or ?path= with -paths) -> run manifest JSON
-//	GET  /stats    daemon counters (admissions, cache traffic, latency quantiles)
-//	GET  /healthz  liveness (503 once draining)
+//	POST /verify        deck in the body (or ?path= with -paths) -> run manifest JSON
+//	GET  /stats         daemon counters (admissions, cache traffic, latency quantiles)
+//	GET  /metrics       Prometheus text exposition of the full telemetry surface
+//	GET  /debug/traces  slow-trace index; /debug/traces/{id} is one rendered span tree
+//	GET  /healthz       liveness (503 once draining)
+//
+// Every /verify response carries an X-Fcv-Trace header; -access-log
+// appends one JSON line per request (trace, status, duration, deck
+// sha256, verdict, cache traffic, queue wait) and -slow-ms retains the
+// full span tree of requests over the threshold for /debug/traces.
 //
 // SIGTERM/SIGINT begin a graceful drain: /healthz flips to 503, new
 // verifications are refused, in-flight requests finish (bounded by
@@ -41,6 +49,8 @@ func runServe(args []string, proc *process.Process, period float64, out *os.File
 	lintGate := fs.Bool("lint", false, "run the static lint gate on every request (requests may also opt in with ?lint=1)")
 	paths := fs.Bool("paths", false, "allow ?path= requests to read decks from this machine's filesystem")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	accessLog := fs.String("access-log", "", "append one JSON line per /verify request to this file")
+	slowMS := fs.Float64("slow-ms", 0, "retain the span tree of requests slower than this many ms at /debug/traces (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +59,15 @@ func runServe(args []string, proc *process.Process, period float64, out *os.File
 		Workers:        *pool,
 		Queue:          *queue,
 		AllowPathDecks: *paths,
+		SlowMS:         *slowMS,
+	}
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.AccessLog = f
 	}
 	if *cacheDir != "" {
 		d, err := fleet.OpenDiskCache(*cacheDir)

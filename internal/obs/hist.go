@@ -1,6 +1,9 @@
 package obs
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // HistBoundsMS are the fixed duration-histogram bucket upper bounds in
 // milliseconds. They are part of the manifest schema: fixed boundaries
@@ -25,12 +28,15 @@ type Histogram struct {
 
 // Quantile estimates the q-quantile (0..1) by linear interpolation
 // inside the holding bucket. The overflow bucket returns its lower
-// bound. Zero on an empty histogram.
+// bound. An empty histogram — zero observations, a zero-value struct,
+// or a corrupted document with no buckets — returns 0, never NaN: the
+// value feeds straight into JSON (/stats, bench metrics), and NaN is
+// not representable there. A NaN q is treated as 0 for the same reason.
 func (h Histogram) Quantile(q float64) float64 {
-	if h.Count == 0 {
+	if h.Count <= 0 || len(h.Counts) == 0 {
 		return 0
 	}
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	}
 	if q > 1 {

@@ -81,3 +81,44 @@ func TestQuantile(t *testing.T) {
 		t.Error("q clamping broken")
 	}
 }
+
+// TestQuantileNeverNaN sweeps the edge shapes the /stats and bench
+// emitters can hit — empty, zero-value, single-sample, all-in-overflow,
+// corrupted (no buckets, negative count) — across a q sweep including
+// the endpoints and NaN, and asserts every result is a finite number.
+// The quantile value flows unfiltered into JSON documents, where NaN is
+// unrepresentable, so "never NaN, never Inf" is the contract.
+func TestQuantileNeverNaN(t *testing.T) {
+	single := New()
+	single.Observe("s", 0.3)
+	overflow := New()
+	for i := 0; i < 5; i++ {
+		overflow.Observe("o", 5e5)
+	}
+	shapes := map[string]Histogram{
+		"zero-value":      {},
+		"empty-buckets":   {Counts: []int64{}},
+		"negative-count":  {Counts: make([]int64, len(HistBoundsMS)+1), Count: -3},
+		"count-no-counts": {Count: 7, Sum: 12},
+		"single-sample":   single.Histograms()["s"],
+		"all-overflow":    overflow.Histograms()["o"],
+	}
+	qs := []float64{math.NaN(), -1, 0, 0.01, 0.5, 0.99, 1, 2}
+	for name, h := range shapes {
+		for _, q := range qs {
+			got := h.Quantile(q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("%s: Quantile(%g) = %g, want finite", name, q, got)
+			}
+		}
+	}
+	if got := (Histogram{}).Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile(0.99) = %g, want 0", got)
+	}
+	if got := shapes["all-overflow"].Quantile(0.5); got != HistBoundsMS[len(HistBoundsMS)-1] {
+		t.Errorf("all-overflow Quantile = %g, want last bound %g", got, HistBoundsMS[len(HistBoundsMS)-1])
+	}
+	if got := shapes["single-sample"].Quantile(0.99); got <= 0 || got > HistBoundsMS[len(HistBoundsMS)-1] {
+		t.Errorf("single-sample Quantile(0.99) = %g, want inside the bucket range", got)
+	}
+}

@@ -28,6 +28,12 @@ type Manifest struct {
 	Schema string `json:"schema"`
 	// Tool names the producer: "fcv verify" or "fcv bench".
 	Tool string `json:"tool"`
+	// Trace is the serve daemon's per-request trace ID (the request's
+	// X-Fcv-Trace header: daemon epoch + request sequence). It is the
+	// volatile half — absent on batch runs, never compared by fcv diff —
+	// and exists so a manifest fished out of an artifact store can be
+	// joined back to its access-log line and slow-trace capture.
+	Trace string `json:"trace,omitempty"`
 	// ConfigKey is the verification configuration fingerprint (the
 	// fleet cache's config key): equal keys mean comparable runs.
 	ConfigKey string `json:"config_key"`
@@ -266,6 +272,13 @@ var manifestFields = []manifestField{
 	{"verdicts", "object"},
 }
 
+// manifestOptionalFields are top-level v2 fields that may be absent:
+// present they must type-check, absent they are fine. Batch manifests
+// omit them; serve manifests carry them.
+var manifestOptionalFields = []manifestField{
+	{"trace", "string"},
+}
+
 var itemFields = []manifestField{
 	{"name", "string"},
 	{"fingerprint", "string"},
@@ -410,6 +423,10 @@ func SchemaJSON() []byte {
 			"pass": intMin0, "inspect": intMin0, "violation": intMin0, "error": intMin0,
 		}),
 	})
+	// Optional top-level fields: in properties, not in required.
+	for _, f := range manifestOptionalFields {
+		doc["properties"].(map[string]any)[f.name] = map[string]any{"type": f.typ}
+	}
 	doc["$schema"] = "http://json-schema.org/draft-07/schema#"
 	doc["$id"] = SchemaID
 	doc["title"] = "fcv run manifest"
@@ -449,7 +466,7 @@ func ValidateManifest(data []byte) error {
 
 // validateV2 enforces the current wire format.
 func validateV2(doc map[string]any) error {
-	if err := checkObject("manifest", doc, manifestFields); err != nil {
+	if err := checkObjectOpt("manifest", doc, manifestFields, manifestOptionalFields); err != nil {
 		return err
 	}
 	for i, el := range doc["items"].([]any) {
@@ -606,7 +623,14 @@ func ReadManifestFile(path string) (*Manifest, error) {
 
 // checkObject enforces exactly the given fields with the given types.
 func checkObject(ctx string, o map[string]any, fields []manifestField) error {
-	known := make(map[string]string, len(fields))
+	return checkObjectOpt(ctx, o, fields, nil)
+}
+
+// checkObjectOpt enforces the required fields plus any of the optional
+// ones: required fields must be present with the right type, optional
+// fields type-check only when present, and nothing else is allowed.
+func checkObjectOpt(ctx string, o map[string]any, fields, optional []manifestField) error {
+	known := make(map[string]string, len(fields)+len(optional))
 	for _, f := range fields {
 		known[f.name] = f.typ
 		v, ok := o[f.name]
@@ -614,6 +638,12 @@ func checkObject(ctx string, o map[string]any, fields []manifestField) error {
 			return fmt.Errorf("manifest: %s: missing required field %q", ctx, f.name)
 		}
 		if !isType(v, f.typ) {
+			return fmt.Errorf("manifest: %s.%s: want %s", ctx, f.name, f.typ)
+		}
+	}
+	for _, f := range optional {
+		known[f.name] = f.typ
+		if v, ok := o[f.name]; ok && !isType(v, f.typ) {
 			return fmt.Errorf("manifest: %s.%s: want %s", ctx, f.name, f.typ)
 		}
 	}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromName pins the mangling rules.
+func TestPromName(t *testing.T) {
+	cases := []struct{ ns, in, want string }{
+		{"fcv", "serve.requests", "fcv_serve_requests"},
+		{"fcv", "fleet.cache.hits", "fcv_fleet_cache_hits"},
+		{"fcv", "verify-time(ms)", "fcv_verify_time_ms_"},
+		{"", "9lives", "_9lives"},
+		{"", "", "_"},
+		{"ns", "", "ns_"},
+		{"fcv", "already_ok", "fcv_already_ok"},
+	}
+	for _, c := range cases {
+		if got := PromName(c.ns, c.in); got != c.want {
+			t.Errorf("PromName(%q, %q) = %q, want %q", c.ns, c.in, got, c.want)
+		}
+		if got := PromName(c.ns, c.in); !validPromName(got) {
+			t.Errorf("PromName(%q, %q) = %q is not a valid metric name", c.ns, c.in, got)
+		}
+	}
+}
+
+// TestWritePrometheusRoundTrip renders a populated snapshot and checks
+// the output passes the validator, carries the expected families in
+// sorted order, and has cumulative buckets ending at +Inf == _count.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	c := New()
+	c.Add("serve.requests", 7)
+	c.Add("fleet.cache.hits", 3)
+	c.SetGauge("serve.pool.active", 2)
+	c.Observe("serve.request_ms", 0.2)
+	c.Observe("serve.request_ms", 3)
+	c.Observe("serve.request_ms", 99999)
+	snap := c.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf, "fcv"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateMetricsText(buf.Bytes()); err != nil {
+		t.Fatalf("self-emitted exposition rejected: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE fcv_serve_requests_total counter",
+		"fcv_serve_requests_total 7",
+		"# TYPE fcv_fleet_cache_hits_total counter",
+		"# TYPE fcv_serve_pool_active gauge",
+		"fcv_serve_pool_active 2",
+		"# TYPE fcv_serve_request_ms histogram",
+		`fcv_serve_request_ms_bucket{le="+Inf"} 3`,
+		"fcv_serve_request_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Families sorted by exposition name: fleet before serve.
+	if strings.Index(out, "fcv_fleet_cache_hits") > strings.Index(out, "fcv_serve_pool_active") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+// TestWritePrometheusDeterministicShape two snapshots with the same
+// metric names but different values emit identical line sequences once
+// sample values are masked — the property the serve golden test relies
+// on across worker counts.
+func TestWritePrometheusDeterministicShape(t *testing.T) {
+	build := func(reqs int64, ms float64) string {
+		c := New()
+		c.Add("serve.requests", reqs)
+		c.SetGauge("serve.pool.active", float64(reqs))
+		c.Observe("serve.request_ms", ms)
+		var buf bytes.Buffer
+		if err := c.Snapshot().WritePrometheus(&buf, "fcv"); err != nil {
+			t.Fatal(err)
+		}
+		return MaskMetricsValues(buf.String())
+	}
+	a, b := build(1, 0.07), build(500, 8000)
+	if a != b {
+		t.Errorf("masked shape differs:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}
+
+// TestValidateMetricsTextRejects each malformed document must be
+// rejected with a diagnostic.
+func TestValidateMetricsTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "foo 1\n",
+		"NaN value":           "# HELP foo x\n# TYPE foo gauge\nfoo NaN\n",
+		"bad name":            "# HELP 1foo x\n# TYPE 1foo gauge\n1foo 1\n",
+		"unknown type":        "# HELP foo x\n# TYPE foo matrix\nfoo 1\n",
+		"duplicate TYPE":      "# TYPE foo gauge\n# TYPE foo gauge\nfoo 1\n",
+		"missing value":       "# TYPE foo gauge\nfoo\n",
+		"unparseable value":   "# TYPE foo gauge\nfoo xyz\n",
+		"unterminated labels": "# TYPE foo histogram\nfoo_bucket{le=\"1\" 2\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing +Inf bucket": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n",
+		"bucket without le": "# TYPE h histogram\nh_bucket{x=\"1\"} 5\n",
+	}
+	for name, doc := range cases {
+		if err := ValidateMetricsText([]byte(doc)); err == nil {
+			t.Errorf("%s: validator accepted malformed document:\n%s", name, doc)
+		}
+	}
+	// And a well-formed document passes.
+	good := "# HELP ok fine\n# TYPE ok counter\nok 3\n" +
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 9.5\nh_count 4\n"
+	if err := ValidateMetricsText([]byte(good)); err != nil {
+		t.Errorf("validator rejected well-formed document: %v", err)
+	}
+}
+
+// TestSnapshotConsistency the snapshot is a caller-owned deep copy and a
+// nil collector yields empty non-nil maps.
+func TestSnapshotConsistency(t *testing.T) {
+	var nilC *Collector
+	snap := nilC.Snapshot()
+	if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil {
+		t.Fatal("nil collector snapshot has nil maps")
+	}
+	if snap.Quantile("absent", 0.5) != 0 {
+		t.Error("absent histogram quantile != 0")
+	}
+
+	c := New()
+	c.Add("n", 1)
+	c.Observe("h", 3)
+	snap = c.Snapshot()
+	snap.Counters["n"] = 99
+	snap.Histograms["h"].Counts[0] = 99
+	if c.Snapshot().Counters["n"] != 1 {
+		t.Error("snapshot counters alias the collector")
+	}
+	if got := c.Snapshot().Histograms["h"]; got.Counts[0] == 99 {
+		t.Error("snapshot histogram counts alias the collector")
+	}
+	// p50/p99 from one snapshot come from the same distribution.
+	if snap.Quantile("h", 0.99) < snap.Quantile("h", 0.5) {
+		t.Error("snapshot quantiles not monotone")
+	}
+}

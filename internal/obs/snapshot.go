@@ -1,0 +1,62 @@
+package obs
+
+import "math"
+
+// MetricsSnapshot is a point-in-time copy of a collector's metrics —
+// counters, gauges and histograms read in one call, so a consumer
+// (the /stats document, the /metrics exposition) works from a single
+// coherent view instead of three separate reads with concurrent
+// requests landing in between. Each histogram's (counts, sum, count)
+// triple is copied under that histogram's own lock, so quantiles
+// computed from the snapshot are always internally consistent: the
+// p50 and p99 of one scrape come from the same distribution.
+//
+// The maps are fresh copies owned by the caller; mutating them never
+// touches the collector.
+type MetricsSnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]Histogram
+}
+
+// Snapshot copies all metrics at once. On a nil collector the snapshot
+// has empty (non-nil) maps, so callers can add their own series without
+// nil checks.
+func (c *Collector) Snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]Histogram{},
+	}
+	if c == nil {
+		return snap
+	}
+	c.metricMu.RLock()
+	defer c.metricMu.RUnlock()
+	for k, v := range c.counters {
+		snap.Counters[k] = v.Load()
+	}
+	for k, v := range c.gauges {
+		snap.Gauges[k] = math.Float64frombits(v.Load())
+	}
+	for k, h := range c.hists {
+		h.mu.Lock()
+		snap.Histograms[k] = Histogram{
+			Counts: append([]int64(nil), h.counts...),
+			Sum:    h.sum,
+			Count:  h.count,
+		}
+		h.mu.Unlock()
+	}
+	return snap
+}
+
+// Quantile reads a named histogram's q-quantile from the snapshot
+// (0 when the histogram is absent or empty — never NaN).
+func (s MetricsSnapshot) Quantile(name string, q float64) float64 {
+	h, ok := s.Histograms[name]
+	if !ok {
+		return 0
+	}
+	return h.Quantile(q)
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// fetchMetrics GETs /metrics and returns the body.
+func fetchMetrics(t *testing.T, baseURL string) []byte {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// metricsShape boots a fresh daemon, runs the canonical request
+// sequence at worker budget j (two clean-deck posts — one parse miss,
+// one hit — then a lint post), and returns the masked /metrics shape.
+func metricsShape(t *testing.T, j int) (shape string, raw []byte) {
+	t.Helper()
+	_, hs := newTestServer(t, testConfig())
+	url := fmt.Sprintf("%s/verify?j=%d", hs.URL, j)
+	for i := 0; i < 2; i++ {
+		if resp, body := postDeck(t, url, cleanDeck); resp.StatusCode != http.StatusOK {
+			t.Fatalf("j=%d request %d: status %d: %s", j, i, resp.StatusCode, body)
+		}
+	}
+	if resp, _ := postDeck(t, url+"&lint=1", brokenDeck); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("j=%d lint request: status %d, want 422", j, resp.StatusCode)
+	}
+	raw = fetchMetrics(t, hs.URL)
+	return obs.MaskMetricsValues(string(raw)), raw
+}
+
+// TestMetricsGoldenShape the exposition's shape — every line with
+// sample values masked — must be byte-identical across worker counts
+// and pinned to the golden file. The raw text must also round-trip
+// through the format validator.
+// Regenerate with: UPDATE_GOLDEN=1 go test ./internal/serve -run Golden
+func TestMetricsGoldenShape(t *testing.T) {
+	shape1, raw := metricsShape(t, 1)
+	if err := obs.ValidateMetricsText(raw); err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text: %v", err)
+	}
+	for _, j := range []int{4, 16} {
+		shapeJ, rawJ := metricsShape(t, j)
+		if err := obs.ValidateMetricsText(rawJ); err != nil {
+			t.Fatalf("j=%d /metrics invalid: %v", j, err)
+		}
+		if shapeJ != shape1 {
+			t.Errorf("masked /metrics shape differs between j=1 and j=%d:\n--- j=1 ---\n%s\n--- j=%d ---\n%s", j, shape1, j, shapeJ)
+		}
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(shape1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if shape1 != string(want) {
+		t.Errorf("/metrics shape drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", shape1, want)
+	}
+}
+
+// TestMetricsCoversDaemonSeries the names CI and fcv top depend on must
+// be present, with the daemon tallies agreeing with /stats.
+func TestMetricsCoversDaemonSeries(t *testing.T) {
+	s, hs := newTestServer(t, testConfig())
+	postDeck(t, hs.URL+"/verify", cleanDeck)
+	body := string(fetchMetrics(t, hs.URL))
+	for _, want := range []string{
+		"fcv_serve_requests_total 1",
+		"fcv_serve_served_total 1",
+		"fcv_serve_parse_cache_miss_total 1",
+		"fcv_serve_parse_cache_hit_total 0",
+		"fcv_serve_verdict_violation_total 0",
+		"# TYPE fcv_serve_request_ms histogram",
+		`fcv_serve_request_ms_bucket{le="+Inf"} 1`,
+		"fcv_serve_pool_workers",
+		"fcv_process_goroutines",
+		"fcv_process_heap_alloc_bytes",
+		"fcv_fleet_items_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if got := s.StatsNow().Served; got != 1 {
+		t.Errorf("stats served = %d", got)
+	}
+	// Draining must not take /metrics down with it.
+	s.SetDraining(true)
+	if !strings.Contains(string(fetchMetrics(t, hs.URL)), "fcv_serve_draining 1") {
+		t.Error("/metrics unreachable or missing draining gauge while draining")
+	}
+}
+
+// TestStatsAndMetricsUnderLoad hammers /stats and /metrics while
+// verifies run — the -race exercise for the consistent-snapshot path.
+// Every /stats read must see internally consistent quantiles
+// (p50 <= p99 from one snapshot) and every /metrics body must stay
+// format-valid mid-flight.
+func TestStatsAndMetricsUnderLoad(t *testing.T) {
+	s, hs := newTestServer(t, testConfig())
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				resp, err := http.Post(hs.URL+"/verify", "text/plain", strings.NewReader(cleanDeck))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	readErr := make(chan error, 64)
+	for rdr := 0; rdr < 3; rdr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				st := s.StatsNow()
+				if st.RequestP99MS < st.RequestP50MS {
+					readErr <- fmt.Errorf("inconsistent quantiles: p50=%g > p99=%g", st.RequestP50MS, st.RequestP99MS)
+					return
+				}
+				resp, err := http.Get(hs.URL + "/metrics")
+				if err != nil {
+					readErr <- err
+					return
+				}
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err := obs.ValidateMetricsText(b); err != nil {
+					readErr <- fmt.Errorf("mid-flight /metrics invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(readErr)
+	for err := range readErr {
+		t.Error(err)
+	}
+	if st := s.StatsNow(); st.Served != 15 {
+		t.Errorf("served = %d, want 15", st.Served)
+	}
+}

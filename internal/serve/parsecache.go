@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/fleet"
+)
+
+// parseCache memoizes deck parsing across requests: an LRU keyed on the
+// deck's sha256 plus every parameter that changes the parse result
+// (src name, ?top=, ?cells=). The agent-loop workload re-submits the
+// same deck many times per minute (verify, tweak one device, verify
+// again), and while the *verification* layers already dedupe via the
+// structural-fingerprint caches, the parse itself — tokenizing,
+// subckt expansion, flattening — ran from scratch on every request.
+// A byte-identical resubmit now skips straight to warm []fleet.Item.
+//
+// Sharing parsed items across concurrent requests is safe because the
+// verification pipeline treats netlist.Circuit as read-only: the only
+// lazily-cached state (the vdd/vss node lookups) is populated during
+// parsing, before the items ever enter the cache.
+type parseCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recent; values are *parseEntry
+	entries map[string]*list.Element // key -> element
+}
+
+type parseEntry struct {
+	key   string
+	items []fleet.Item
+}
+
+// newParseCache builds a cache holding up to max decks. max <= 0
+// disables caching (every get misses, puts are dropped).
+func newParseCache(max int) *parseCache {
+	return &parseCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached parse for key, refreshing its recency.
+func (c *parseCache) get(key string) ([]fleet.Item, bool) {
+	if c == nil || c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*parseEntry).items, true
+}
+
+// put stores a parse result, evicting the least-recently-used entry
+// when the cache is full.
+func (c *parseCache) put(key string, items []fleet.Item) {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*parseEntry).items = items
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&parseEntry{key: key, items: items})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*parseEntry).key)
+	}
+}
+
+// len reports the current entry count (for tests and /stats).
+func (c *parseCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

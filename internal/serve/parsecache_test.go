@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+func parseItems(t *testing.T, deck string) []fleet.Item {
+	t.Helper()
+	items, err := fleet.ItemsFromDeck(strings.NewReader(deck), "deck.sp", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+// TestParseCacheLRU exercises the unit: hit after put, recency refresh,
+// LRU eviction, and the disabled (max<=0) mode.
+func TestParseCacheLRU(t *testing.T) {
+	items := parseItems(t, cleanDeck)
+	c := newParseCache(2)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put("a", items)
+	c.put("b", items)
+	if got, ok := c.get("a"); !ok || len(got) != len(items) {
+		t.Fatal("miss after put")
+	}
+	// "a" was just refreshed, so inserting "c" must evict "b".
+	c.put("c", items)
+	if _, ok := c.get("b"); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently-used entry evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+
+	off := newParseCache(-1)
+	off.put("a", items)
+	if _, ok := off.get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if off.len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+// TestParseCacheCountersOnRepeat a byte-identical resubmit is a parse
+// hit; a different ?top selection on the same bytes is a distinct key.
+func TestParseCacheCountersOnRepeat(t *testing.T) {
+	s, hs := newTestServer(t, testConfig())
+	postDeck(t, hs.URL+"/verify", cleanDeck)
+	postDeck(t, hs.URL+"/verify", cleanDeck)
+	st := s.StatsNow()
+	if st.Counters["serve.parse_cache.miss"] != 1 || st.Counters["serve.parse_cache.hit"] != 1 {
+		t.Errorf("parse cache hit=%d miss=%d after identical resubmit, want 1/1",
+			st.Counters["serve.parse_cache.hit"], st.Counters["serve.parse_cache.miss"])
+	}
+	// Same bytes, different parse parameters: a new key, a new miss.
+	postDeck(t, hs.URL+"/verify?cells=1", cleanDeck)
+	st = s.StatsNow()
+	if st.Counters["serve.parse_cache.miss"] != 2 {
+		t.Errorf("cells=1 on same bytes missed %d times, want 2 total", st.Counters["serve.parse_cache.miss"])
+	}
+}
+
+// TestParseCacheDisabledConfig ParseCacheSize<0 turns caching off:
+// every request is a miss and the daemon still serves correctly.
+func TestParseCacheDisabledConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.ParseCacheSize = -1
+	s, hs := newTestServer(t, cfg)
+	postDeck(t, hs.URL+"/verify", cleanDeck)
+	postDeck(t, hs.URL+"/verify", cleanDeck)
+	st := s.StatsNow()
+	if st.Counters["serve.parse_cache.hit"] != 0 || st.Counters["serve.parse_cache.miss"] != 2 {
+		t.Errorf("disabled cache hit=%d miss=%d, want 0/2",
+			st.Counters["serve.parse_cache.hit"], st.Counters["serve.parse_cache.miss"])
+	}
+	if st.Served != 2 {
+		t.Errorf("served = %d", st.Served)
+	}
+}

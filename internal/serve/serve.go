@@ -33,13 +33,17 @@ package serve
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -73,17 +77,34 @@ type Config struct {
 	// server's filesystem. Off by default: only enable for trusted
 	// local callers (the CI smoke, a designer's own machine).
 	AllowPathDecks bool
+	// AccessLog, when non-nil, receives one JSONL accessRecord line per
+	// /verify request (every exit path: 200, 400, 405, 422, 429, 503).
+	AccessLog io.Writer
+	// SlowMS, when positive, retains the full rendered span tree of any
+	// request slower than this many milliseconds in the slow-trace ring
+	// (GET /debug/traces). 0 disables capture.
+	SlowMS float64
+	// SlowTraceCap bounds the slow-trace ring (0 = 32).
+	SlowTraceCap int
+	// ParseCacheSize bounds the deck parse cache in entries (0 = 64;
+	// negative disables parse caching).
+	ParseCacheSize int
 }
 
 // Server is the verification daemon: an http.Handler plus the warm
 // state it keeps between requests. Construct with New.
 type Server struct {
-	cfg  Config
-	pool *workerPool
-	mux  *http.ServeMux
-	col  *obs.Collector // server-lifetime telemetry (merged request counters)
+	cfg    Config
+	pool   *workerPool
+	mux    *http.ServeMux
+	col    *obs.Collector // server-lifetime telemetry (merged request counters)
+	parses *parseCache
+	ring   *traceRing
 
 	start    time.Time
+	epoch    int64 // start time in Unix seconds; the trace-ID prefix
+	traceSeq atomic.Int64
+	logMu    sync.Mutex // serializes access-log writers
 	draining atomic.Bool
 
 	// Lifetime tallies, surfaced at /stats.
@@ -111,15 +132,32 @@ func New(cfg Config) *Server {
 	if cfg.Cache == nil {
 		cfg.Cache = fleet.NewCache()
 	}
-	s := &Server{
-		cfg:   cfg,
-		pool:  newWorkerPool(cfg.Workers, cfg.Queue),
-		mux:   http.NewServeMux(),
-		col:   obs.New(),
-		start: obs.Now(),
+	if cfg.SlowTraceCap == 0 {
+		cfg.SlowTraceCap = 32
 	}
+	if cfg.ParseCacheSize == 0 {
+		cfg.ParseCacheSize = 64
+	}
+	s := &Server{
+		cfg:    cfg,
+		pool:   newWorkerPool(cfg.Workers, cfg.Queue),
+		mux:    http.NewServeMux(),
+		col:    obs.New(),
+		parses: newParseCache(cfg.ParseCacheSize),
+		ring:   newTraceRing(cfg.SlowTraceCap),
+		start:  obs.Now(),
+	}
+	s.epoch = s.start.Unix()
+	// Pre-register the parse-cache counters so the /metrics name set is
+	// identical whether or not a hit (or a miss) has happened yet —
+	// the exposition's shape must not depend on traffic history.
+	s.col.Add("serve.parse_cache.hit", 0)
+	s.col.Add("serve.parse_cache.miss", 0)
 	s.mux.HandleFunc("/verify", s.handleVerify)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
+	s.mux.HandleFunc("/debug/traces/", s.handleTraces)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/", s.handleRoot)
 	return s
@@ -142,7 +180,10 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprint(w, `fcv serve — full-custom verification service
   POST /verify[?top=CELL&cells=1&j=N&lint=1&stream=1][&path=deck.sp]  deck in body -> run manifest
-  GET  /stats                                                         daemon counters
+  GET  /stats                                                         daemon counters (JSON)
+  GET  /metrics                                                       Prometheus text exposition
+  GET  /debug/traces                                                  slow-trace index (JSON)
+  GET  /debug/traces/{id}                                             one retained span tree
   GET  /healthz                                                       liveness
 `)
 }
@@ -165,15 +206,26 @@ func boolParam(r *http.Request, name string) bool {
 	return true
 }
 
-// handleVerify is the daemon's workhorse: admit, load the deck, run the
-// fleet with the shared caches, respond with the manifest (or stream
-// the event log).
+// handleVerify is the daemon's workhorse: mint a trace ID, admit, load
+// the deck (through the parse cache), run the fleet with the shared
+// caches, respond with the manifest (or stream the event log), and
+// account every exit path in the access log.
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	tid, seq := s.mintTrace()
+	w.Header().Set("X-Fcv-Trace", tid)
+	t0 := obs.Now()
+	rec := accessRecord{Trace: tid, Method: r.Method, Path: r.URL.Path}
+	defer func() {
+		rec.DurMS = float64(obs.Now().Sub(t0).Microseconds()) / 1000
+		s.logAccess(rec)
+	}()
 	if s.draining.Load() {
+		rec.Status = http.StatusServiceUnavailable
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	if r.Method != http.MethodPost {
+		rec.Status = http.StatusMethodNotAllowed
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST a SPICE deck to /verify", http.StatusMethodNotAllowed)
 		return
@@ -184,7 +236,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if js := q.Get("j"); js != "" {
 		j, err := strconv.Atoi(js)
 		if err != nil || j < 1 {
-			s.fail(w, http.StatusBadRequest, "bad j=%q (want a positive integer)", js)
+			s.fail(w, &rec, http.StatusBadRequest, "bad j=%q (want a positive integer)", js)
 			return
 		}
 		want = j
@@ -192,19 +244,24 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 
 	// Load the deck before competing for workers: parse errors should
 	// not consume pool capacity, and a 400 should be instant.
-	items, err := s.loadItems(r)
+	items, src, deckSHA, err := s.loadDeck(r)
+	rec.Deck = deckSHA
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, &rec, http.StatusBadRequest, "%v", err)
 		return
 	}
 
+	qt0 := obs.Now()
 	got, queued, ok := s.pool.acquire(r.Context(), want)
+	rec.QueueMS = float64(obs.Now().Sub(qt0).Microseconds()) / 1000
 	if !ok {
 		if r.Context().Err() != nil {
 			s.badRequests.Add(1)
-			return // client went away while queued; nothing to say
+			rec.Status = 499 // client went away while queued; nothing to say
+			return
 		}
 		s.rejected.Add(1)
+		rec.Status = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "admission queue full, retry later", http.StatusTooManyRequests)
 		return
@@ -213,9 +270,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if queued {
 		s.col.Add("serve.queued", 1)
 	}
+	rec.Workers = got
 
-	t0 := obs.Now()
 	col := obs.New()
+	// The trace joins the request's own collector as a volatile gauge
+	// (the numeric half of the ID; gauges never enter the stable half).
+	col.SetGauge("serve.trace_seq", float64(seq))
 	opt := fleet.Options{
 		Core:      s.cfg.Core,
 		Workers:   got,
@@ -242,10 +302,33 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rep := fleet.Verify(items, opt)
-	s.account(rep, float64(obs.Now().Sub(t0).Microseconds())/1000, col)
+	elapsedMS := float64(obs.Now().Sub(t0).Microseconds()) / 1000
+	s.account(rep, elapsedMS, col)
 	m := fleet.BuildManifest("fcv serve", rep, col)
+	m.Trace = tid
+
+	p, i, v, f := rep.Counts()
+	rec.Verdict = overallVerdict(p, i, v, f)
+	rec.CacheHits, rec.CacheMisses = rep.Hits, rep.Misses
+	rec.DiskHits, rec.DiskMisses = rep.DiskHits, rep.DiskMisses
+	rec.Status = http.StatusOK
+	if s.cfg.SlowMS > 0 && elapsedMS >= s.cfg.SlowMS {
+		defer func() {
+			s.ring.add(slowTrace{
+				Trace:    tid,
+				Src:      src,
+				Status:   rec.Status,
+				DurMS:    elapsedMS,
+				Verdict:  rec.Verdict,
+				Rendered: col.Tree() + "\n" + col.CountersText(),
+			})
+		}()
+	}
 
 	if stream {
+		// All per-item scopes have closed, so a run-level trace event
+		// may follow run-end without disturbing the stream order.
+		sink.Emit("trace", tid)
 		sink.Close() // flush; write errors mean the client left
 		// The trailing manifest rides the same JSONL stream, so compact
 		// the canonical (nil-normalized) document onto one line.
@@ -260,48 +343,70 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	b, err := m.JSON()
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "manifest: %v", err)
+		s.fail(w, &rec, http.StatusInternalServerError, "manifest: %v", err)
 		return
 	}
-	p, i, v, f := rep.Counts()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Fcv-Verdicts", fmt.Sprintf("pass=%d inspect=%d violation=%d error=%d", p, i, v, f))
 	if rep.HasViolations() {
 		// The verification *ran*; the design is what failed. 422 keeps
 		// that distinct from 400 (unusable request) so CI and agents can
 		// branch on the status alone.
+		rec.Status = http.StatusUnprocessableEntity
 		w.WriteHeader(http.StatusUnprocessableEntity)
 	}
 	w.Write(b)
 }
 
-// loadItems resolves the request's deck — body or ?path= — into fleet
-// items, honoring ?top= and ?cells=1.
-func (s *Server) loadItems(r *http.Request) ([]fleet.Item, error) {
+// loadDeck resolves the request's deck — body or ?path= — into fleet
+// items through the parse cache, honoring ?top= and ?cells=1. Returns
+// the source name and the deck's sha256 alongside the items (the sha is
+// the access log's deck fingerprint, so it is returned even when the
+// parse fails).
+func (s *Server) loadDeck(r *http.Request) (items []fleet.Item, src, deckSHA string, err error) {
 	q := r.URL.Query()
 	top, cells := q.Get("top"), boolParam(r, "cells")
+	var data []byte
 	if path := q.Get("path"); path != "" {
 		if !s.cfg.AllowPathDecks {
-			return nil, fmt.Errorf("path decks are disabled on this server (start with -paths)")
+			return nil, path, "", fmt.Errorf("path decks are disabled on this server (start with -paths)")
 		}
-		f, err := os.Open(path)
+		data, err = os.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return nil, path, "", err
 		}
-		defer f.Close()
-		return fleet.ItemsFromDeck(f, path, top, cells)
+		src = path
+	} else {
+		src = q.Get("src")
+		if src == "" {
+			src = "deck.sp"
+		}
+		body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+		data, err = io.ReadAll(body)
+		if err != nil {
+			return nil, src, "", err
+		}
 	}
-	src := q.Get("src")
-	if src == "" {
-		src = "deck.sp"
+	sum := sha256.Sum256(data)
+	deckSHA = hex.EncodeToString(sum[:])
+	key := deckSHA + "\x00" + src + "\x00" + top + "\x00" + strconv.FormatBool(cells)
+	if cached, ok := s.parses.get(key); ok {
+		s.col.Add("serve.parse_cache.hit", 1)
+		return cached, src, deckSHA, nil
 	}
-	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
-	return fleet.ItemsFromDeck(body, src, top, cells)
+	s.col.Add("serve.parse_cache.miss", 1)
+	items, err = fleet.ItemsFromDeck(bytes.NewReader(data), src, top, cells)
+	if err != nil {
+		return nil, src, deckSHA, err
+	}
+	s.parses.put(key, items)
+	return items, src, deckSHA, nil
 }
 
 // fail answers an unusable request and counts it.
-func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+func (s *Server) fail(w http.ResponseWriter, rec *accessRecord, code int, format string, args ...any) {
 	s.badRequests.Add(1)
+	rec.Status = code
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
@@ -400,14 +505,14 @@ func (s *Server) StatsNow() Stats {
 	st.Verdicts.Inspect = s.tallyInspect.Load()
 	st.Verdicts.Violation = s.tallyViolation.Load()
 	st.Verdicts.Error = s.tallyError.Load()
-	if h, ok := s.col.Histograms()["serve.request_ms"]; ok {
-		st.RequestP50MS = h.Quantile(0.50)
-		st.RequestP99MS = h.Quantile(0.99)
-	}
-	st.Counters = s.col.Counters()
-	if st.Counters == nil {
-		st.Counters = map[string]int64{}
-	}
+	// One consistent snapshot feeds both quantiles and the counter map:
+	// a request landing mid-read can no longer produce a p50 and p99
+	// from two different distributions (or counters that disagree with
+	// the histogram they summarize).
+	snap := s.col.Snapshot()
+	st.RequestP50MS = snap.Quantile("serve.request_ms", 0.50)
+	st.RequestP99MS = snap.Quantile("serve.request_ms", 0.99)
+	st.Counters = snap.Counters
 	return st
 }
 
