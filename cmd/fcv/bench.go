@@ -73,6 +73,20 @@ type BenchMetrics struct {
 	// goroutine scaling the figure includes.
 	CyclesPerDay     float64 `json:"cycles_per_day"`
 	LaneBlockWorkers int     `json:"lane_block_workers"`
+	// LaneBlockSpeedup divides the block-parallel rate above by the same
+	// workload pinned to one worker goroutine — the multi-core scaling
+	// factor of the lane-block scheduler, separate from the per-settle
+	// bit-parallel win.
+	LaneBlockSpeedup float64 `json:"lane_block_speedup"`
+	// Hier* measure hierarchical incremental verification on the deep
+	// tree corpus (designs.DeepTree): HierColdDesignsPerSec verifies the
+	// whole hierarchy against an empty cache; HierEditOneLeafReverifyPerSec
+	// re-verifies after a scripted one-leaf edit against the warm shared
+	// cache, so only the edited leaf and its root path recompute.
+	// HierIncrementalSpeedup is warm/cold — the edit-one-leaf headline.
+	HierColdDesignsPerSec         float64 `json:"hier_cold_designs_per_sec"`
+	HierEditOneLeafReverifyPerSec float64 `json:"hier_edit_one_leaf_reverify_per_sec"`
+	HierIncrementalSpeedup        float64 `json:"hier_incremental_speedup"`
 	// Serve* metrics exist only when the run included the -serve load
 	// harness: ServeClients concurrent HTTP clients POSTing decks at an
 	// in-process `fcv serve` daemon. RequestsPerSec counts completed
@@ -266,6 +280,24 @@ func runBench(args []string, out *os.File) error {
 			m.CyclesPerDay = rate
 		}
 	}
+	// The same block set pinned to one worker goroutine is the serial
+	// baseline for the multi-core scaling factor.
+	var laneBlockSerial float64
+	bcfg1 := bcfg
+	bcfg1.Workers = 1
+	for r := 0; r < *reps; r++ {
+		t0 := obs.Now()
+		if _, err := rtl.RunBlocks(pipeDesign, bcfg1, nil); err != nil {
+			return err
+		}
+		laneCycles := float64(bcfg1.Blocks) * float64(bcfg1.Cycles) * rtl.Lanes
+		if rate := laneCycles / obs.Now().Sub(t0).Seconds() * 86400; rate > laneBlockSerial {
+			laneBlockSerial = rate
+		}
+	}
+	if laneBlockSerial > 0 {
+		m.LaneBlockSpeedup = m.CyclesPerDay / laneBlockSerial
+	}
 
 	// Cold-cache fleet rates at -j 1 and -j GOMAXPROCS.
 	opts := func(j int) fleet.Options {
@@ -345,6 +377,55 @@ func runBench(args []string, out *os.File) error {
 	}
 	if m.DiskColdDesignsPerSec > 0 {
 		m.DiskWarmSpeedup = m.DiskWarmDesignsPerSec / m.DiskColdDesignsPerSec
+	}
+
+	// Hierarchical incremental verification on the deep-tree corpus: one
+	// cold pass builds the whole hierarchy against an empty cache; warm
+	// passes re-verify scripted one-leaf edits (each rep a distinct
+	// tweak, so every pass honestly misses the edited leaf plus its root
+	// path) against the shared cache. Their ratio is the edit-one-leaf
+	// incremental win.
+	const hierLevels, hierVariants = 3, 20
+	hierOpts := func(c *fleet.Cache) fleet.Options {
+		return fleet.Options{
+			Core:    core.Options{Proc: process.CMOS075()},
+			Workers: m.GOMAXPROCS,
+			Cache:   c,
+		}
+	}
+	for r := 0; r < *reps; r++ {
+		lib, top := designs.DeepTree(hierLevels, hierVariants, 0)
+		t0 := obs.Now()
+		if _, err := fleet.VerifyHier(lib, lib.Cell(top), hierOpts(fleet.NewCache())); err != nil {
+			return err
+		}
+		if rate := 1 / obs.Now().Sub(t0).Seconds(); rate > m.HierColdDesignsPerSec {
+			m.HierColdDesignsPerSec = rate
+		}
+	}
+	hierCache := fleet.NewCache()
+	{
+		lib, top := designs.DeepTree(hierLevels, hierVariants, 0)
+		if _, err := fleet.VerifyHier(lib, lib.Cell(top), hierOpts(hierCache)); err != nil {
+			return err
+		}
+	}
+	hierEdits := 2 * *reps
+	if hierEdits < 6 {
+		hierEdits = 6
+	}
+	for i := 0; i < hierEdits; i++ {
+		lib, top := designs.DeepTree(hierLevels, hierVariants, 0.1+0.01*float64(i))
+		t0 := obs.Now()
+		if _, err := fleet.VerifyHier(lib, lib.Cell(top), hierOpts(hierCache)); err != nil {
+			return err
+		}
+		if rate := 1 / obs.Now().Sub(t0).Seconds(); rate > m.HierEditOneLeafReverifyPerSec {
+			m.HierEditOneLeafReverifyPerSec = rate
+		}
+	}
+	if m.HierColdDesignsPerSec > 0 {
+		m.HierIncrementalSpeedup = m.HierEditOneLeafReverifyPerSec / m.HierColdDesignsPerSec
 	}
 
 	// Hot-kernel allocations per op, on the same workloads the
@@ -429,6 +510,10 @@ func runBench(args []string, out *os.File) error {
 		col.SetGauge("bench.vectors_per_sec", m.VectorsPerSec)
 		col.SetGauge("bench.lane_parallel_speedup", m.LaneParallelSpeedup)
 		col.SetGauge("bench.cycles_per_day", m.CyclesPerDay)
+		col.SetGauge("bench.lane_block_speedup", m.LaneBlockSpeedup)
+		col.SetGauge("bench.hier_cold_designs_per_sec", m.HierColdDesignsPerSec)
+		col.SetGauge("bench.hier_edit_one_leaf_reverify_per_sec", m.HierEditOneLeafReverifyPerSec)
+		col.SetGauge("bench.hier_incremental_speedup", m.HierIncrementalSpeedup)
 		if m.ServeRequestsPerSec > 0 {
 			col.SetGauge("bench.serve_requests_per_sec", m.ServeRequestsPerSec)
 			col.SetGauge("bench.serve_p50_ms", m.ServeP50MS)
@@ -456,8 +541,10 @@ func runBench(args []string, out *os.File) error {
 	if err := obs.WriteFileAtomic(*outPath, b); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "bench: rtl=%.0f cycles/sec, lanes=%.0f vectors/sec (%.1fx scalar), %.3g cycles/day at %d block workers, fleet j1=%.1f jN=%.1f designs/sec (%.2fx at %d workers), cache hit=%.0f%%, disk warm=%.2fx -> %s\n",
-		m.RTLCyclesPerSec, m.VectorsPerSec, m.LaneParallelSpeedup, m.CyclesPerDay, m.LaneBlockWorkers, m.FleetDesignsPerSecJ1, m.FleetDesignsPerSecJN, m.FleetSpeedup, m.FleetWorkersJN, m.CacheHitPct, m.DiskWarmSpeedup, *outPath)
+	fmt.Fprintf(out, "bench: rtl=%.0f cycles/sec, lanes=%.0f vectors/sec (%.1fx scalar), %.3g cycles/day at %d block workers (%.2fx serial), fleet j1=%.1f jN=%.1f designs/sec (%.2fx at %d workers), cache hit=%.0f%%, disk warm=%.2fx -> %s\n",
+		m.RTLCyclesPerSec, m.VectorsPerSec, m.LaneParallelSpeedup, m.CyclesPerDay, m.LaneBlockWorkers, m.LaneBlockSpeedup, m.FleetDesignsPerSecJ1, m.FleetDesignsPerSecJN, m.FleetSpeedup, m.FleetWorkersJN, m.CacheHitPct, m.DiskWarmSpeedup, *outPath)
+	fmt.Fprintf(out, "bench: hier cold=%.1f designs/sec, edit-one-leaf warm=%.1f designs/sec (%.1fx incremental)\n",
+		m.HierColdDesignsPerSec, m.HierEditOneLeafReverifyPerSec, m.HierIncrementalSpeedup)
 	if m.ServeRequestsPerSec > 0 {
 		fmt.Fprintf(out, "bench: serve %d clients: %.1f req/sec, p50=%.1fms p99=%.1fms\n",
 			m.ServeClients, m.ServeRequestsPerSec, m.ServeP50MS, m.ServeP99MS)

@@ -27,7 +27,14 @@
 // 1 when any design is in violation or errors, 2 on operational
 // failure:
 //
-//	fcv verify [-j N] [-cells] [-cache] [-cache-dir d] [-lint] [-quiet] [-manifest m.json] [-events e.jsonl] [-trace] [-pprof-labels] <deck.sp>... [top]
+//	fcv verify [-j N] [-cells] [-hier] [-hier-inline N] [-cache] [-cache-dir d] [-lint] [-quiet] [-manifest m.json] [-events e.jsonl] [-trace] [-pprof-labels] <deck.sp>... [top]
+//
+// -hier switches a single-deck run to hierarchical incremental
+// verification (fleet.VerifyHier): each subcell above the -hier-inline
+// device cutoff is verified in isolation, keyed on its fingerprint DAG
+// hash, and parent verdicts are composed from child results plus
+// boundary checks — so with -cache-dir, re-verifying after a one-leaf
+// edit recomputes only the edited cell and its path to the root.
 //
 // -cache-dir (default $FCV_CACHE_DIR) layers a persistent result cache
 // under the in-memory one: results keyed by (structural fingerprint,
@@ -325,6 +332,8 @@ func runVerify(args []string, proc *process.Process, period float64, out *os.Fil
 	cells := fs.Bool("cells", false, "verify every cell of each deck, not just the top")
 	useCache := fs.Bool("cache", true, "memoize results under structural fingerprints")
 	cacheDir := fs.String("cache-dir", os.Getenv("FCV_CACHE_DIR"), "persistent result cache directory (default $FCV_CACHE_DIR; empty = off)")
+	hierMode := fs.Bool("hier", false, "hierarchical incremental verification: key each subcell on its fingerprint DAG and compose parent verdicts (single deck)")
+	hierInline := fs.Int("hier-inline", 0, "fold cells flattening to at most this many devices into their parent's scope (0 = default 16, negative keeps every cell)")
 	quiet := fs.Bool("quiet", false, "suppress per-design timing breakdown")
 	manifestPath := fs.String("manifest", "", "write a run-manifest JSON (schema "+obs.SchemaID+") to this path")
 	eventsPath := fs.String("events", "", "stream live JSONL events (stage/finding/cache) to this path")
@@ -350,8 +359,14 @@ func runVerify(args []string, proc *process.Process, period float64, out *os.Fil
 	if top != "" && (len(decks) > 1 || *cells) {
 		return fmt.Errorf("verify: a top cell name applies to a single deck without -cells")
 	}
+	if *hierMode && (len(decks) > 1 || *cells) {
+		return fmt.Errorf("verify: -hier applies to a single deck without -cells")
+	}
 	var items []fleet.Item
 	for _, deck := range decks {
+		if *hierMode {
+			break // the hierarchy is resolved below, unflattened
+		}
 		if *cells {
 			lib, soup, err := netlist.ParseFile(deck)
 			if err != nil {
@@ -412,7 +427,25 @@ func runVerify(args []string, proc *process.Process, period float64, out *os.Fil
 		eventsFile = ef
 		opt.Events = obs.NewEventSink(ef)
 	}
-	rep := fleet.Verify(items, opt)
+	var rep *fleet.Report
+	if *hierMode {
+		f, err := os.Open(decks[0])
+		if err != nil {
+			return err
+		}
+		lib, hierTop, err := fleet.HierFromDeck(f, decks[0], top)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		opt.HierInline = *hierInline
+		rep, err = fleet.VerifyHier(lib, hierTop, opt)
+		if err != nil {
+			return err
+		}
+	} else {
+		rep = fleet.Verify(items, opt)
+	}
 	if eventsFile != nil {
 		// The fleet emitted run-end, so the stream is complete; close the
 		// sink and surface any latched write error before the exit-code

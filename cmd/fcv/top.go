@@ -107,6 +107,10 @@ func renderTopFrame(out io.Writer, base string, st *serve.Stats, gauges map[stri
 	fmt.Fprintf(out, "  cache      hits %d  misses %d  (%s hit)   entries %d\n",
 		st.Cache.Hits, st.Cache.Misses, hitPct(st.Cache.Hits, st.Cache.Misses), st.Cache.Entries)
 	fmt.Fprintf(out, "  parse      hits %d  misses %d  (%s hit)\n", pHit, pMiss, hitPct(pHit, pMiss))
+	sHit := st.Counters["fleet.subcell.hit"]
+	sMiss := st.Counters["fleet.subcell.miss"]
+	fmt.Fprintf(out, "  subcell    hits %d  misses %d  (%s hit)   composed %d\n",
+		sHit, sMiss, hitPct(sHit, sMiss), st.Counters["fleet.subcell.compose"])
 	if st.Disk != nil {
 		fmt.Fprintf(out, "  disk       entries %d\n", st.Disk.Entries)
 	}

@@ -51,6 +51,7 @@ func TestTopOnceRendersDashboard(t *testing.T) {
 		"verdicts   pass",
 		"cache      hits 0  misses 1",
 		"parse      hits 0  misses 1",
+		"subcell    hits 0  misses 0  (- hit)   composed 0",
 		"goroutines",
 		"heap",
 		"slow traces 1",

@@ -21,6 +21,10 @@ var trendMetrics = []string{
 	"vectors_per_sec",
 	"cycles_per_day",
 	"lane_parallel_speedup",
+	"lane_block_speedup",
+	"hier_cold_designs_per_sec",
+	"hier_edit_one_leaf_reverify_per_sec",
+	"hier_incremental_speedup",
 	"serve_requests_per_sec",
 }
 

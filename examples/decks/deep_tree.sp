@@ -1,0 +1,65 @@
+* deep_tree.sp - four-level hierarchy for hierarchical incremental
+* verification: chip -> half{0,1} -> col{0,1} -> lv{0..3}.
+*
+* Each leaf variant appears on exactly one branch, so editing lv3
+* (widening w=2.6) must warm-miss only lv3 -> col1 -> half1 -> chip
+* while every other subcell replays from a shared -cache-dir:
+*
+*   fcv verify -hier -hier-inline -1 -cache-dir d examples/decks/deep_tree.sp chip
+
+.subckt lv0 a y
+m1n n1 a vss vss nmos w=2.0 l=0.75
+m1p n1 a vdd vdd pmos w=4.0 l=0.75
+m2n n2 n1 vss vss nmos w=2.0 l=0.75
+m2p n2 n1 vdd vdd pmos w=4.0 l=0.75
+m3n n3 n2 vss vss nmos w=2.0 l=0.75
+m3p n3 n2 vdd vdd pmos w=4.0 l=0.75
+m4n y n3 vss vss nmos w=2.0 l=0.75
+m4p y n3 vdd vdd pmos w=4.0 l=0.75
+.ends
+
+.subckt lv1 a y
+m5n n1 a vss vss nmos w=2.2 l=0.75
+m5p n1 a vdd vdd pmos w=4.4 l=0.75
+m6n y n1 vss vss nmos w=2.2 l=0.75
+m6p y n1 vdd vdd pmos w=4.4 l=0.75
+.ends
+
+.subckt lv2 a y
+m7n n1 a vss vss nmos w=2.4 l=0.75
+m7p n1 a vdd vdd pmos w=4.8 l=0.75
+m8n y n1 vss vss nmos w=2.4 l=0.75
+m8p y n1 vdd vdd pmos w=4.8 l=0.75
+.ends
+
+.subckt lv3 a y
+m9n n1 a vss vss nmos w=2.6 l=0.75
+m9p n1 a vdd vdd pmos w=5.2 l=0.75
+m10n y n1 vss vss nmos w=2.6 l=0.75
+m10p y n1 vdd vdd pmos w=5.2 l=0.75
+.ends
+
+.subckt col0 a y
+x0 a m lv0
+x1 m y lv1
+.ends
+
+.subckt col1 a y
+x0 a m lv2
+x1 m y lv3
+.ends
+
+.subckt half0 a y
+x0 a m col0
+x1 m y col0
+.ends
+
+.subckt half1 a y
+x0 a m col1
+x1 m y col1
+.ends
+
+.subckt chip a y
+x0 a q half0
+x1 q y half1
+.ends

@@ -529,3 +529,123 @@ func RegisterFile(words, bits int) *netlist.Circuit {
 	}
 	return c
 }
+
+// DeepTree returns the deep-hierarchy workload for hierarchical
+// incremental verification: a `levels`-deep library of static CMOS
+// cells with `variants` distinct cells per level, rooted at the
+// returned top cell. Leaves are inverter chains of variant-dependent
+// length; every upper-level cell buffers its input and combines two
+// instances of the *same* child variant (repeated instances — the
+// memoization case) through a NAND, and the top NAND-reduces one
+// instance of every last-level variant. The shape is deliberately
+// parallel rather than chained, so the flat critical path stays within
+// one clock period and fanout stays bounded: the whole corpus passes
+// the verification battery clean in both the hierarchical and the
+// whole-netlist view, which is what keeps the two byte-identical.
+//
+// tweak perturbs the width of one transistor in leaf variant 0 — the
+// scripted "edit one leaf" workload: DeepTree(l, v, 0) and
+// DeepTree(l, v, 0.1) differ in exactly one leaf cell, so a warm
+// re-verify must miss only that leaf and its path to the root.
+func DeepTree(levels, variants int, tweak float64) (*netlist.Library, string) {
+	if levels < 1 {
+		levels = 1
+	}
+	if variants < 1 {
+		variants = 1
+	}
+	lib := netlist.NewLibrary()
+	name := func(level, v int) string { return fmt.Sprintf("dt_l%d_v%d", level, v) }
+	for v := 0; v < variants; v++ {
+		c := netlist.New(name(0, v))
+		c.DeclarePort("in")
+		n := 24 + 2*v
+		prev := "in"
+		for i := 0; i < n; i++ {
+			next := fmt.Sprintf("n%d", i)
+			if i == n-1 {
+				next = "out"
+			}
+			wn := wInvN
+			if tweak != 0 && v == 0 && i == 0 {
+				wn = wInvN * (1 + tweak)
+			}
+			AddInverter(c, fmt.Sprintf("u%d", i), prev, next, wn, wInvP)
+			prev = next
+		}
+		c.DeclarePort("out")
+		lib.Add(c)
+	}
+	for level := 1; level < levels; level++ {
+		for v := 0; v < variants; v++ {
+			c := netlist.New(name(level, v))
+			c.DeclarePort("in")
+			// Buffer pair isolates the parent's input load from the
+			// two child fan-outs at every level of the tree.
+			AddInverter(c, "u0a", "in", "ba", wInvN, wInvP)
+			AddInverter(c, "u0b", "ba", "bb", wInvN, wInvP)
+			child := name(level-1, v)
+			c.AddInstance("xa", child, "bb", "ya")
+			c.AddInstance("xb", child, "bb", "yb")
+			AddNAND2(c, "g", "ya", "yb", "n1")
+			AddInverter(c, "u1", "n1", "out", wInvN, wInvP)
+			c.DeclarePort("out")
+			lib.Add(c)
+		}
+	}
+	// reduce buffers cell's input and NAND-tree-reduces one instance of
+	// every listed child into out.
+	reduce := func(cell *netlist.Circuit, children []string) {
+		cell.DeclarePort("in")
+		AddInverter(cell, "u0a", "in", "ba", wInvN, wInvP)
+		AddInverter(cell, "u0b", "ba", "bb", wInvN, wInvP)
+		outs := make([]string, len(children))
+		for i, ch := range children {
+			outs[i] = fmt.Sprintf("t%d", i)
+			cell.AddInstance(fmt.Sprintf("x%d", i), ch, "bb", outs[i])
+		}
+		for r := 0; len(outs) > 1; r++ {
+			var next []string
+			for i := 0; i+1 < len(outs); i += 2 {
+				y := fmt.Sprintf("r%d_%d", r, i/2)
+				AddNAND2(cell, fmt.Sprintf("nr%d_%d", r, i/2), outs[i], outs[i+1], y)
+				next = append(next, y)
+			}
+			if len(outs)%2 == 1 {
+				next = append(next, outs[len(outs)-1])
+			}
+			outs = next
+		}
+		AddInverter(cell, "uo", outs[0], "out", wInvN, wInvP)
+		cell.DeclarePort("out")
+	}
+
+	last := levels - 1
+	kids := make([]string, variants)
+	for v := 0; v < variants; v++ {
+		kids[v] = name(last, v)
+	}
+	// Wide corpora get an intermediate join layer so the top's fan-in —
+	// and with it the scope a one-leaf edit forces the root path to
+	// re-verify — stays narrow.
+	const joinGroup = 4
+	if variants > joinGroup {
+		var joins []string
+		for j := 0; j*joinGroup < variants; j++ {
+			lo := j * joinGroup
+			hi := lo + joinGroup
+			if hi > variants {
+				hi = variants
+			}
+			join := netlist.New(fmt.Sprintf("dt_join%d", j))
+			reduce(join, kids[lo:hi])
+			lib.Add(join)
+			joins = append(joins, join.Name)
+		}
+		kids = joins
+	}
+	top := netlist.New("dt_top")
+	reduce(top, kids)
+	lib.Add(top)
+	return lib, "dt_top"
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/hier"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 )
@@ -25,11 +26,31 @@ import (
 type Cache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
+
+	// Hierarchical composition side-tables, keyed on (DAG fingerprint,
+	// inlining cutoff): the port interface and boundary findings of a
+	// subcell are pure functions of its DAG content and the cutoff that
+	// shaped its effective scope, so a warm re-verify replays them
+	// instead of re-flattening and re-classifying untouched cells.
+	hierMu    sync.Mutex
+	hierIfcs  map[hierKey]*hier.Interface
+	hierBound map[hierKey][]obs.Finding
+
+	// hierMemo short-circuits the per-cell refinement inside
+	// HierFingerprint for cells whose content and child labels are
+	// unchanged since a previous run through this cache.
+	hierMemo *netlist.HierFPMemo
 }
 
 type cacheKey struct {
 	fp  netlist.Fingerprint
 	cfg string
+}
+
+// hierKey identifies a subcell's composition derivatives.
+type hierKey struct {
+	fp     netlist.Fingerprint // the cell's DAG fingerprint
+	cutoff int                 // HierInline cutoff shaping the effective scope
 }
 
 // cacheEntry carries the creating caller's circuit and options into the
@@ -41,7 +62,7 @@ type cacheKey struct {
 type cacheEntry struct {
 	once    sync.Once
 	done    atomic.Bool
-	circuit *netlist.Circuit
+	circuit func() (*netlist.Circuit, error)
 	opt     core.Options
 	rep     *core.Report
 	err     error
@@ -58,7 +79,49 @@ type cacheEntry struct {
 
 // NewCache returns an empty verification cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+	return &Cache{
+		entries:   make(map[cacheKey]*cacheEntry),
+		hierIfcs:  make(map[hierKey]*hier.Interface),
+		hierBound: make(map[hierKey][]obs.Finding),
+		hierMemo:  netlist.NewHierFPMemo(),
+	}
+}
+
+// hierIfc returns the memoized port interface for a subcell key.
+func (c *Cache) hierIfc(k hierKey) (*hier.Interface, bool) {
+	c.hierMu.Lock()
+	defer c.hierMu.Unlock()
+	ifc, ok := c.hierIfcs[k]
+	return ifc, ok
+}
+
+// setHierIfc stores a subcell's port interface. Concurrent writers
+// store identical values (the interface is derived deterministically
+// from the key's content), so last-write-wins is sound.
+func (c *Cache) setHierIfc(k hierKey, ifc *hier.Interface) {
+	c.hierMu.Lock()
+	defer c.hierMu.Unlock()
+	c.hierIfcs[k] = ifc
+}
+
+// hierBoundary returns the memoized boundary findings for a subcell
+// key. The boolean distinguishes "cached empty" from "not cached".
+func (c *Cache) hierBoundary(k hierKey) ([]obs.Finding, bool) {
+	c.hierMu.Lock()
+	defer c.hierMu.Unlock()
+	bf, ok := c.hierBound[k]
+	return bf, ok
+}
+
+// setHierBoundary stores a subcell's boundary findings (nil slices are
+// normalized to empty so presence survives the round trip).
+func (c *Cache) setHierBoundary(k hierKey, bf []obs.Finding) {
+	if bf == nil {
+		bf = []obs.Finding{}
+	}
+	c.hierMu.Lock()
+	defer c.hierMu.Unlock()
+	c.hierBound[k] = bf
 }
 
 // Len returns the number of distinct (fingerprint, config) entries.
@@ -74,6 +137,11 @@ func (c *Cache) Len() int {
 // every other caller is a hit. inflight is true for hits that arrived
 // before the resolution finished and had to block on it.
 //
+// The circuit arrives as a provider, invoked only when the outcome
+// actually has to be computed — never on a memory or disk hit. That is
+// what makes lazy items (Item.Lazy) effective: a warm re-verify skips
+// circuit construction entirely for every cache-hit key.
+//
 // When disk is non-nil the once body consults the persistent layer
 // first: a disk hit replays the stored outcome without running
 // core.Verify at all; a disk miss verifies fresh and stores the result
@@ -81,7 +149,7 @@ func (c *Cache) Len() int {
 // not poison future runs). Because the disk I/O happens inside the
 // once, per-key disk hit/miss counts stay singleflight-deterministic
 // at any worker count, exactly like the memory layer's.
-func (c *Cache) verify(fp netlist.Fingerprint, cfg string, circuit *netlist.Circuit, opt core.Options, disk *DiskCache) (e *cacheEntry, fresh, inflight bool) {
+func (c *Cache) verify(fp netlist.Fingerprint, cfg string, circuit func() (*netlist.Circuit, error), opt core.Options, disk *DiskCache) (e *cacheEntry, fresh, inflight bool) {
 	key := cacheKey{fp: fp, cfg: cfg}
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -103,7 +171,10 @@ func (c *Cache) verify(fp netlist.Fingerprint, cfg string, circuit *netlist.Circ
 			}
 		}
 		if e.rep == nil {
-			e.rep, e.err = core.Verify(e.circuit, e.opt)
+			var circ *netlist.Circuit
+			if circ, e.err = e.circuit(); e.err == nil {
+				e.rep, e.err = core.Verify(circ, e.opt)
+			}
 			if disk != nil && e.err == nil {
 				var serr error
 				e.diskEvicted, serr = disk.store(fp, cfg, e.rep)

@@ -46,6 +46,17 @@ type Item struct {
 	Name string
 	// Circuit is the flat design to verify.
 	Circuit *netlist.Circuit
+	// Lazy, when Circuit is nil, supplies the circuit on demand. It is
+	// invoked at most once, and only when the result cannot be replayed
+	// from a cache — the hierarchical driver uses it to defer subcell
+	// scope construction to actual misses. Requires Key (there is no
+	// circuit to fingerprint up front otherwise).
+	Lazy func() (*netlist.Circuit, error)
+	// Key, when non-zero, overrides the cache-key fingerprint. The
+	// hierarchical driver keys each subcell scope on the cell's DAG
+	// fingerprint — which moves when any descendant changes — instead
+	// of the scope circuit's own hash, which would not.
+	Key netlist.Fingerprint
 }
 
 // Options configures a fleet run.
@@ -83,6 +94,17 @@ type Options struct {
 	// core.Verify, so CPU profiles attribute samples to cells and
 	// pipeline stages.
 	PprofLabels bool
+	// KeySalt is appended to the configuration cache key. Runs whose
+	// items are not interchangeable with plain whole-netlist results —
+	// hierarchical subcell scopes — salt the key so the two families
+	// never share cache entries.
+	KeySalt string
+	// HierInline is the VerifyHier inlining cutoff: cells whose fully
+	// flattened device count is at or below it are folded into their
+	// parent's verification scope instead of getting their own cache
+	// entry (tiny cells cost more to compose than to re-verify).
+	// 0 means the default (16); negative disables inlining.
+	HierInline int
 }
 
 // Result is the outcome for one item.
@@ -111,6 +133,41 @@ type Result struct {
 	// zero for cache hits). Timing is excluded from the deterministic
 	// report text.
 	Elapsed time.Duration
+
+	// Hierarchical provenance and composition (set only by VerifyHier;
+	// zero for whole-netlist runs).
+
+	// Subcell names the hierarchy cell this result verifies in
+	// isolation; empty for whole-netlist items.
+	Subcell string
+	// Parent names the cell that first instantiates this subcell
+	// (empty for the top cell and for flat items).
+	Parent string
+	// ComposedFrom counts the direct subcell children whose verdicts
+	// were folded into this result (0 for leaves and flat items).
+	ComposedFrom int
+	// ComposedMinPeriodPS is the slowest minimum clock period across
+	// this cell's scope and all of its descendants — the interface
+	// timing arc composition (0 for flat items).
+	ComposedMinPeriodPS float64
+	// composed overrides the Report verdict when composeSet: the max of
+	// the scope's own verdict, the children's composed verdicts, and
+	// the boundary findings' severities.
+	composed   checks.Verdict
+	composeSet bool
+	// extra carries the boundary findings hierarchical composition
+	// attributes to this cell (Findings appends them).
+	extra []obs.Finding
+}
+
+// EffectiveVerdict is the verdict the fleet reports for this item: the
+// hierarchically composed verdict when one was set, else the CBV
+// report's own. Only meaningful when Err is nil.
+func (r *Result) EffectiveVerdict() checks.Verdict {
+	if r.composeSet {
+		return r.composed
+	}
+	return r.Report.Verdict
 }
 
 // VerdictString is the item's manifest verdict: the CBV verdict, or
@@ -119,7 +176,7 @@ func (r *Result) VerdictString() string {
 	if r.Err != nil {
 		return "error"
 	}
-	return r.Report.Verdict.String()
+	return r.EffectiveVerdict().String()
 }
 
 // Findings returns the item's provenanced findings: the CBV report's
@@ -145,13 +202,19 @@ func (r *Result) Findings() []obs.Finding {
 			Evidence: obs.Evidence{Context: "verification aborted"},
 		}}
 	}
-	if r.stored != nil {
-		return r.stored
+	var base []obs.Finding
+	switch {
+	case r.stored != nil:
+		base = r.stored
+	case r.Report != nil:
+		base = r.Report.Findings()
 	}
-	if r.Report == nil {
-		return nil
+	if len(r.extra) == 0 {
+		return base
 	}
-	return r.Report.Findings()
+	out := make([]obs.Finding, 0, len(base)+len(r.extra))
+	out = append(out, base...)
+	return append(out, r.extra...)
 }
 
 // Report is the merged outcome of a fleet run.
@@ -197,7 +260,7 @@ func Verify(items []Item, opt Options) *Report {
 		Workers: workers,
 	}
 	start := obs.Now()
-	cfg := configKey(&opt.Core)
+	cfg := configKey(&opt.Core) + opt.KeySalt
 	rep.ConfigKey = cfg
 	// Per-item spans are pre-created in input order under the run's
 	// root span so the trace tree is deterministic no matter which
@@ -246,10 +309,22 @@ func Verify(items []Item, opt Options) *Report {
 				copt.Trace = sp
 				copt.Events = sc
 				copt.PprofLabels = opt.PprofLabels
+				circ := func() (*netlist.Circuit, error) { return it.Circuit, nil }
+				if it.Circuit == nil && it.Lazy != nil {
+					circ = it.Lazy
+				}
 				work := func() {
-					res.Fingerprint = it.Circuit.Fingerprint()
+					res.Fingerprint = it.Key
+					if res.Fingerprint == (netlist.Fingerprint{}) {
+						c, err := circ()
+						if err != nil {
+							res.Err = err
+							return
+						}
+						res.Fingerprint = c.Fingerprint()
+					}
 					if cache != nil {
-						e, fresh, blocked := cache.verify(res.Fingerprint, cfg, it.Circuit, copt, opt.DiskCache)
+						e, fresh, blocked := cache.verify(res.Fingerprint, cfg, circ, copt, opt.DiskCache)
 						res.Report, res.Err = e.rep, e.err
 						res.Cached = !fresh
 						res.DiskHit = e.disk == diskHit
@@ -283,7 +358,12 @@ func Verify(items []Item, opt Options) *Report {
 							atomic.AddInt64(&inflight, 1)
 						}
 					} else {
-						res.Report, res.Err = core.Verify(it.Circuit, copt)
+						c, err := circ()
+						if err != nil {
+							res.Err = err
+							return
+						}
+						res.Report, res.Err = core.Verify(c, copt)
 					}
 				}
 				if opt.PprofLabels {
@@ -293,8 +373,12 @@ func Verify(items []Item, opt Options) *Report {
 				}
 				res.Elapsed = obs.Now().Sub(t0)
 				sp.End()
-				for _, f := range res.Findings() {
-					sc.Emit(obs.Event{Type: "finding", ID: f.ID, Detail: f.Check + ": " + f.Subject})
+				if sc != nil {
+					// Findings() recomputes from the report — don't pay
+					// for it when no event stream is attached.
+					for _, f := range res.Findings() {
+						sc.Emit(obs.Event{Type: "finding", ID: f.ID, Detail: f.Check + ": " + f.Subject})
+					}
 				}
 				sc.Emit(obs.Event{Type: "item-end", Detail: res.VerdictString()})
 				sc.Close()
@@ -370,9 +454,9 @@ func (r *Report) Counts() (pass, inspect, violation, failed int) {
 		switch {
 		case res.Err != nil:
 			failed++
-		case res.Report.Verdict == checks.Pass:
+		case res.EffectiveVerdict() == checks.Pass:
 			pass++
-		case res.Report.Verdict == checks.Inspect:
+		case res.EffectiveVerdict() == checks.Inspect:
 			inspect++
 		default:
 			violation++
@@ -385,7 +469,7 @@ func (r *Report) Counts() (pass, inspect, violation, failed int) {
 // the fleet-level exit-code condition.
 func (r *Report) HasViolations() bool {
 	for _, res := range r.Results {
-		if res.Err != nil || res.Report.Verdict == checks.Violation {
+		if res.Err != nil || res.EffectiveVerdict() == checks.Violation {
 			return true
 		}
 	}
@@ -406,9 +490,13 @@ func (r *Report) Text() string {
 			continue
 		}
 		rep := res.Report
+		minPeriod := rep.Timing.MinPeriodPS
+		if res.ComposedMinPeriodPS > minPeriod {
+			minPeriod = res.ComposedMinPeriodPS
+		}
 		fmt.Fprintf(&sb, "  %-20s %s  %-9s inspect=%-3d races=%-2d min-period=%.0fps\n",
-			res.Name, res.Fingerprint.Short(), rep.Verdict, rep.InspectLoad,
-			len(rep.Timing.Races), rep.Timing.MinPeriodPS)
+			res.Name, res.Fingerprint.Short(), res.EffectiveVerdict(), rep.InspectLoad,
+			len(rep.Timing.Races), minPeriod)
 	}
 	pass, inspect, violation, failed := r.Counts()
 	fmt.Fprintf(&sb, "corpus: %d designs — pass=%d inspect=%d violation=%d error=%d\n",

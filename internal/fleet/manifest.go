@@ -27,6 +27,9 @@ func BuildManifest(tool string, rep *Report, col *obs.Collector) *obs.Manifest {
 			Cached:      res.Cached,
 			ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1000,
 			Findings:    res.Findings(),
+			Subcell:     res.Subcell,
+			Parent:      res.Parent,
+			DiskHit:     res.DiskHit,
 		})
 	}
 	p, i, v, f := rep.Counts()

@@ -1,0 +1,265 @@
+package hier
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/process"
+)
+
+// inv builds a standard inverter cell: in -> out.
+func inv() *netlist.Circuit {
+	c := netlist.New("inv")
+	c.DeclarePort("in")
+	c.NMOS("mn", "in", "vss", "out", 2, 0.25)
+	c.PMOS("mp", "in", "vdd", "out", 4, 0.25)
+	c.DeclarePort("out")
+	return c
+}
+
+// tgate builds a rail-free pass structure: a single NMOS channel between
+// ports a and b, gated by port en. Neither a nor b has a path to a
+// supply, so both are Channel-but-not-Driven.
+func tgate() *netlist.Circuit {
+	c := netlist.New("tg")
+	c.DeclarePort("a")
+	c.DeclarePort("b")
+	c.DeclarePort("en")
+	c.NMOS("mpass", "en", "a", "b", 2, 0.25)
+	return c
+}
+
+// TestScopeCircuit: instances drop out, their non-supply connection
+// nets become ports, and every local property — node loads, attributes,
+// device flavour and Loc — survives into the scope.
+func TestScopeCircuit(t *testing.T) {
+	c := netlist.New("parent")
+	c.DeclarePort("in")
+	d := c.NMOS("mn", "in", "vss", "mid", 2, 0.25)
+	d.ExtraL = 0.1
+	d.Vt = process.LowVt
+	d.Loc = netlist.Loc{File: "p.sp", Line: 7}
+	c.PMOS("mp", "in", "vdd", "mid", 4, 0.25)
+	r := c.AddResistor("rw", "mid", "midr", 120)
+	r.Loc = netlist.Loc{File: "p.sp", Line: 9}
+	c.AddCap("mid", 3.5)
+	c.SetAttr(c.Node("in"), "clock", "phi1")
+	c.AddInstance("x1", "child", "midr", "out", "vdd", "vss")
+	c.DeclarePort("out")
+
+	s := ScopeCircuit(c)
+	if len(s.Instances) != 0 {
+		t.Fatalf("scope kept %d instances", len(s.Instances))
+	}
+	isPort := func(name string) bool {
+		id := s.FindNode(name)
+		return id != netlist.InvalidNode && s.Nodes[id].IsPort
+	}
+	for _, want := range []string{"in", "out", "midr"} {
+		if !isPort(want) {
+			t.Errorf("node %s should be a scope port", want)
+		}
+	}
+	if isPort("mid") {
+		t.Error("internal net mid wrongly promoted to port")
+	}
+	for _, supply := range []string{"vdd", "vss"} {
+		if isPort(supply) {
+			t.Errorf("supply %s promoted to port", supply)
+		}
+	}
+	if got := s.Nodes[s.Node("mid")].CapFF; got != 3.5 {
+		t.Errorf("mid CapFF = %g, want 3.5", got)
+	}
+	if got := s.Nodes[s.Node("in")].Attrs["clock"]; got != "phi1" {
+		t.Errorf("in clock attr = %q, want phi1", got)
+	}
+	if len(s.Devices) != 2 || len(s.Resistors) != 1 {
+		t.Fatalf("scope has %d devices / %d resistors, want 2 / 1", len(s.Devices), len(s.Resistors))
+	}
+	sd := s.Devices[0]
+	if sd.ExtraL != 0.1 || sd.Vt != process.LowVt || sd.Loc.Line != 7 {
+		t.Errorf("device properties lost: ExtraL=%g Vt=%v Loc=%v", sd.ExtraL, sd.Vt, sd.Loc)
+	}
+	if s.Resistors[0].Loc.Line != 9 {
+		t.Errorf("resistor Loc lost: %v", s.Resistors[0].Loc)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("scope fails Validate: %v", err)
+	}
+}
+
+// TestCellInterfaceLeaf: an inverter's input is a pure gate load, its
+// output a driven channel.
+func TestCellInterfaceLeaf(t *testing.T) {
+	ifc, err := CellInterface(inv(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ifc.Ports) != 2 {
+		t.Fatalf("inv interface has %d ports", len(ifc.Ports))
+	}
+	in, out := ifc.Ports[0], ifc.Ports[1]
+	if in.Driven || in.Channel || !in.Gate {
+		t.Errorf("in = %+v, want pure gate", in)
+	}
+	if !out.Driven || !out.Channel || out.Gate {
+		t.Errorf("out = %+v, want driven channel", out)
+	}
+
+	// The rail-free pass gate: both channel ports undriven.
+	tifc, err := CellInterface(tgate(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"a", "b"} {
+		if p := tifc.Ports[i]; p.Driven || !p.Channel {
+			t.Errorf("tg.%s = %+v, want undriven channel", name, p)
+		}
+	}
+	if p := tifc.Ports[2]; !p.Gate || p.Driven {
+		t.Errorf("tg.en = %+v, want pure gate", p)
+	}
+}
+
+// TestCellInterfaceComposed: drive arriving through a child instance
+// seeds the parent's conduction reachability — a parent with no
+// rail-connected device of its own still presents a driven output when
+// a child drives it through a kept pass device.
+func TestCellInterfaceComposed(t *testing.T) {
+	lib := map[string]*Interface{}
+	ii, err := CellInterface(inv(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib["inv"] = ii
+
+	p := netlist.New("p")
+	p.DeclarePort("in")
+	p.AddInstance("x1", "inv", "in", "n")
+	p.NMOS("mpass", "en", "n", "out", 2, 0.25)
+	p.Node("en")
+	p.DeclarePort("out")
+	pi, err := CellInterface(p, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := pi.Ports[1]; !out.Driven {
+		t.Errorf("p.out = %+v, want driven through child inv + pass device", out)
+	}
+
+	// Error paths: missing child interface, and arity mismatch.
+	if _, err := CellInterface(p, nil); err == nil {
+		t.Error("missing child interface not reported")
+	}
+	bad := map[string]*Interface{"inv": {Cell: "inv", Ports: make([]PortClass, 3)}}
+	if _, err := CellInterface(p, bad); err == nil {
+		t.Error("conns/ports arity mismatch not reported")
+	}
+}
+
+// TestBoundaryFindingsDriveFight: two child outputs shorted on one
+// parent net is a drive fight; adding the parent's own rail path makes
+// a third source. A properly fanned-out net reports nothing.
+func TestBoundaryFindingsDriveFight(t *testing.T) {
+	ii, err := CellInterface(inv(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	children := map[string]*Interface{"inv": ii}
+
+	p := netlist.New("p")
+	p.DeclarePort("a")
+	p.DeclarePort("b")
+	p.AddInstance("x1", "inv", "a", "n")
+	p.AddInstance("x2", "inv", "b", "n")
+	bf, err := BoundaryFindings(p, children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf) != 1 {
+		t.Fatalf("findings = %d, want 1 drive fight: %+v", len(bf), bf)
+	}
+	f := bf[0]
+	if f.Check != "drive-fight" || f.Subject != "n" || f.Severity != "inspect" {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.Evidence.Measured != 2 {
+		t.Errorf("measured %g drive sources, want 2", f.Evidence.Measured)
+	}
+
+	// Same net also driven by a local rail path: three sources.
+	p.NMOS("mloc", "a", "vss", "n", 2, 0.25)
+	bf, err = BoundaryFindings(p, children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf) != 1 || bf[0].Evidence.Measured != 3 {
+		t.Fatalf("with local drive: %+v, want one finding with 3 sources", bf)
+	}
+
+	// Clean chain: each internal net has exactly one driver.
+	q := netlist.New("q")
+	q.DeclarePort("in")
+	q.AddInstance("x1", "inv", "in", "m")
+	q.AddInstance("x2", "inv", "m", "out")
+	q.DeclarePort("out")
+	bf, err = BoundaryFindings(q, children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf) != 0 {
+		t.Errorf("clean chain produced findings: %+v", bf)
+	}
+}
+
+// TestBoundaryFindingsChargeShare: an undriven parent net joining two
+// child channel terminals can redistribute charge with no restoring
+// drive. The finding IDs are structural — renaming the net moves the
+// subject but keeps count and severity.
+func TestBoundaryFindingsChargeShare(t *testing.T) {
+	ti, err := CellInterface(tgate(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	children := map[string]*Interface{"tg": ti}
+
+	p := netlist.New("p")
+	p.DeclarePort("a")
+	p.DeclarePort("b")
+	p.DeclarePort("en")
+	p.AddInstance("x1", "tg", "a", "share", "en")
+	p.AddInstance("x2", "tg", "share", "b", "en")
+	bf, err := BoundaryFindings(p, children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf) != 1 {
+		t.Fatalf("findings = %d, want 1 charge share: %+v", len(bf), bf)
+	}
+	f := bf[0]
+	if f.Check != "charge-share" || f.Subject != "share" {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.Evidence.Measured != 2 {
+		t.Errorf("measured %g boundary channels, want 2", f.Evidence.Measured)
+	}
+
+	// A single floating channel stub is still flagged (charge parks on
+	// undriven diffusion), while a net that only loads child gates is
+	// benign.
+	q := netlist.New("q")
+	q.DeclarePort("a")
+	q.DeclarePort("b")
+	q.DeclarePort("en")
+	q.AddInstance("x1", "tg", "a", "stub", "en")
+	q.AddInstance("x2", "tg", "a", "b", "gateonly")
+	q.Node("gateonly")
+	bf, err = BoundaryFindings(q, children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf) != 1 || bf[0].Subject != "stub" || bf[0].Evidence.Measured != 1 {
+		t.Errorf("stub/gateonly findings = %+v, want one charge-share on stub", bf)
+	}
+}

@@ -1,0 +1,256 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// deepDeck is a four-level hierarchy expressed as X-instances (SPICE
+// .subckt cards do not nest syntactically; depth comes from references):
+//
+//	chip -> pair -> stage -> buf -> inv
+//
+// with repeated instances at every level and a diamond: stage reaches
+// inv both through buf and directly.
+const deepDeck = `
+* four-level hierarchy
+.subckt inv a y
+mn y a vss vss nmos w=2 l=0.75
+mp y a vdd vdd pmos w=4 l=0.75
+.ends
+
+.subckt buf a y
+x1 a m inv
+x2 m y inv
+.ends
+
+.subckt stage a y
+xb a s buf
+xi s y inv
+.ends
+
+.subckt pair a y
+xs0 a p stage
+xs1 p y stage
+.ends
+
+.subckt chip a y
+xp0 a q pair
+xp1 q y pair
+.ends
+`
+
+func parseDeep(t *testing.T) *Library {
+	t.Helper()
+	lib, _, err := ParseNamed(strings.NewReader(deepDeck), "deep.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// TestParseDeepHierarchy: all five cells parse, instance references
+// resolve at every depth, and each cell records where it came from.
+func TestParseDeepHierarchy(t *testing.T) {
+	lib := parseDeep(t)
+	wantInst := map[string]int{"inv": 0, "buf": 2, "stage": 2, "pair": 2, "chip": 2}
+	for name, n := range wantInst {
+		c := lib.Cell(name)
+		if c == nil {
+			t.Fatalf("cell %s not parsed", name)
+		}
+		if len(c.Instances) != n {
+			t.Errorf("cell %s: %d instances, want %d", name, len(c.Instances), n)
+		}
+		for _, inst := range c.Instances {
+			if lib.Cell(inst.Cell) == nil {
+				t.Errorf("cell %s: instance %s references unparsed cell %q", name, inst.Name, inst.Cell)
+			}
+		}
+		if c.Loc.File != "deep.sp" || c.Loc.Line == 0 {
+			t.Errorf("cell %s: Loc = %v, want deep.sp with a line", name, c.Loc)
+		}
+	}
+	// The hierarchy fingerprint sees the full depth.
+	hfp, err := lib.HierFingerprint(lib.Cell("chip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hfp.Cells["chip"].Depth; got != 4 {
+		t.Errorf("chip depth = %d, want 4", got)
+	}
+}
+
+// TestFlattenDeep: full expansion through four levels — device counts
+// multiply out, hierarchical node names join with "/", supplies stay
+// global, and the root interface survives.
+func TestFlattenDeep(t *testing.T) {
+	lib := parseDeep(t)
+	flat, err := lib.Flatten("chip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// inv=2 devices; buf=4; stage=6; pair=12; chip=24.
+	if len(flat.Devices) != 24 {
+		t.Fatalf("flat devices = %d, want 24", len(flat.Devices))
+	}
+	if len(flat.Instances) != 0 {
+		t.Fatalf("flat circuit still has %d instances", len(flat.Instances))
+	}
+	if err := flat.Validate(); err != nil {
+		t.Fatalf("flat circuit fails Validate: %v", err)
+	}
+	if len(flat.Ports) != 2 ||
+		flat.NodeName(flat.Ports[0]) != "a" || flat.NodeName(flat.Ports[1]) != "y" {
+		t.Errorf("flat ports lost the root interface")
+	}
+
+	names := make(map[string]bool, len(flat.Devices))
+	for _, d := range flat.Devices {
+		names[d.Name] = true
+	}
+	// Deepest path: chip/xp0 -> pair/xs0 -> stage/xb -> buf/x1 -> inv/mn.
+	const deepest = "xp0/xs0/xb/x1/mn"
+	if !names[deepest] {
+		t.Fatalf("device %s missing after flatten; have e.g. %s", deepest, flat.Devices[0].Name)
+	}
+	// The diamond: inv reached directly from stage, next to the buf path.
+	if !names["xp0/xs0/xi/mn"] {
+		t.Error("diamond branch device xp0/xs0/xi/mn missing")
+	}
+	// Repeated instances expand independently.
+	if !names["xp1/xs1/xb/x2/mp"] {
+		t.Error("repeated-instance device xp1/xs1/xb/x2/mp missing")
+	}
+
+	// Supplies are global: exactly one vss node, no prefixed variants.
+	vssCount := 0
+	for i := range flat.Nodes {
+		if flat.IsVss(NodeID(i)) {
+			vssCount++
+		}
+		if strings.HasSuffix(flat.Nodes[i].Name, "/vss") || strings.HasSuffix(flat.Nodes[i].Name, "/vdd") {
+			t.Errorf("supply node %q was prefixed", flat.Nodes[i].Name)
+		}
+	}
+	if vssCount != 1 {
+		t.Errorf("flat has %d vss nodes, want 1", vssCount)
+	}
+}
+
+// TestFlattenDeepLocPreserved: a device four levels down still points at
+// the deck line of its .subckt body, so diagnostics on the flat view
+// stay actionable.
+func TestFlattenDeepLocPreserved(t *testing.T) {
+	lib := parseDeep(t)
+	// Line of "mn y a vss ..." inside .subckt inv in deepDeck.
+	wantLine := 0
+	for i, line := range strings.Split(deepDeck, "\n") {
+		if strings.HasPrefix(line, "mn ") {
+			wantLine = i + 1
+			break
+		}
+	}
+	if wantLine == 0 {
+		t.Fatal("deck fixture lost its mn line")
+	}
+	flat, err := lib.Flatten("chip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range flat.Devices {
+		if !strings.HasSuffix(d.Name, "/mn") {
+			continue
+		}
+		if d.Loc.File != "deep.sp" || d.Loc.Line != wantLine {
+			t.Errorf("device %s: Loc = %v, want deep.sp:%d", d.Name, d.Loc, wantLine)
+		}
+	}
+}
+
+// TestFlattenKeepDeep: keeping a mid-level cell preserves its instances
+// with connections remapped into the flat namespace, expands everything
+// above it, and keep=nil reproduces Flatten exactly (modulo the ".flat"
+// name suffix).
+func TestFlattenKeepDeep(t *testing.T) {
+	lib := parseDeep(t)
+	part, err := lib.FlattenKeep(lib.Cell("chip"), func(cell string) bool { return cell == "stage" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Instances) != 4 {
+		t.Fatalf("kept %d stage instances, want 4", len(part.Instances))
+	}
+	if len(part.Devices) != 0 {
+		t.Errorf("chip/pair contributed %d devices, want 0 (all content is below stage)", len(part.Devices))
+	}
+	seen := map[string]bool{}
+	for _, inst := range part.Instances {
+		if inst.Cell != "stage" {
+			t.Errorf("kept instance %s is of %q, want stage", inst.Name, inst.Cell)
+		}
+		seen[inst.Name] = true
+		if len(inst.Conns) != 2 {
+			t.Fatalf("instance %s has %d conns, want 2", inst.Name, len(inst.Conns))
+		}
+		if inst.Loc.File != "deep.sp" || inst.Loc.Line == 0 {
+			t.Errorf("instance %s lost its Loc: %v", inst.Name, inst.Loc)
+		}
+	}
+	for _, want := range []string{"xp0/xs0", "xp0/xs1", "xp1/xs0", "xp1/xs1"} {
+		if !seen[want] {
+			t.Errorf("kept instance %s missing (have %v)", want, seen)
+		}
+	}
+	// The chain a -> q -> y threads through remapped connections: xp0's
+	// second stage output must be the node xp1's first stage reads.
+	conn := map[string][2]string{}
+	for _, inst := range part.Instances {
+		conn[inst.Name] = [2]string{part.NodeName(inst.Conns[0]), part.NodeName(inst.Conns[1])}
+	}
+	if conn["xp0/xs0"][0] != "a" || conn["xp1/xs1"][1] != "y" {
+		t.Errorf("chain endpoints wrong: %v", conn)
+	}
+	if conn["xp0/xs1"][1] != conn["xp1/xs0"][0] {
+		t.Errorf("chain broken between pairs: %v", conn)
+	}
+
+	// keep=nil is Flatten.
+	full, err := lib.FlattenKeep(lib.Cell("chip"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := lib.Flatten("chip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Name != "chip" || flat.Name != "chip.flat" {
+		t.Errorf("names: FlattenKeep=%q Flatten=%q", full.Name, flat.Name)
+	}
+	if full.Fingerprint() != flat.Fingerprint() {
+		t.Error("FlattenKeep(nil) structure differs from Flatten")
+	}
+}
+
+// TestFlattenDeepErrors: recursion and port-arity mismatches are caught
+// at depth with the offending path in the message.
+func TestFlattenDeepErrors(t *testing.T) {
+	lib := parseDeep(t)
+	// Introduce a cycle at the bottom: inv instantiates buf.
+	lib.Cell("inv").AddInstance("xr", "buf", "a", "y")
+	if _, err := lib.Flatten("chip"); err == nil {
+		t.Error("recursive instantiation at depth not reported")
+	}
+
+	lib2 := parseDeep(t)
+	// Break arity mid-hierarchy: stage connects 3 nodes to buf's 2 ports.
+	st := lib2.Cell("stage")
+	for _, inst := range st.Instances {
+		if inst.Cell == "buf" {
+			inst.Conns = append(inst.Conns, st.Node("extra"))
+		}
+	}
+	if _, err := lib2.Flatten("chip"); err == nil {
+		t.Error("port-arity mismatch at depth not reported")
+	}
+}

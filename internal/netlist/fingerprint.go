@@ -59,6 +59,17 @@ type refined struct {
 // refine runs the colour-refinement rounds and returns the final
 // labels. This is the shared engine of Fingerprint and Signatures.
 func (c *Circuit) refine() refined {
+	return c.refineLabels(nil)
+}
+
+// refineLabels is refine with the per-instance seed labels made
+// explicit. When instLabels is nil each instance seeds from its cell
+// *name* (the flat Fingerprint contract: a renamed child cell changes
+// the parent hash). Callers that know more about the children — the
+// hierarchical DAG fingerprint seeds each instance with the child's own
+// composed fingerprint, CellFingerprint seeds all instances with one
+// neutral constant — pass len(c.Instances) labels instead.
+func (c *Circuit) refineLabels(instLabels []uint64) refined {
 	// Initial node labels: electrical invariants only — never the name,
 	// except the canonical supply identity (vdd and vss are global
 	// meanings, not names).
@@ -109,7 +120,11 @@ func (c *Circuit) refine() refined {
 	}
 	instStatic := make([]uint64, len(c.Instances))
 	for i, inst := range c.Instances {
-		instStatic[i] = fpMix(fpSeed, fpString(inst.Cell))
+		if instLabels != nil {
+			instStatic[i] = fpMix(fpSeed, instLabels[i])
+		} else {
+			instStatic[i] = fpMix(fpSeed, fpString(inst.Cell))
+		}
 	}
 
 	// Incidence: every (node, role, element) edge, built once in a
@@ -234,12 +249,27 @@ func (c *Circuit) refine() refined {
 // reordering, and sensitive to connectivity, W/L/ExtraL sizing, device
 // type and Vt class, node capacitance and attributes, port-ness, and
 // supply identity. Instance connections hash positionally against the
-// referenced cell name, so hierarchical circuits can be fingerprinted
-// without flattening (two instances of differently-named but identical
-// cells hash differently — flatten first if that distinction matters).
+// referenced cell *name*, so two instances of differently-named but
+// identical cells hash differently. For a name-invariant hierarchical
+// hash use the per-cell/DAG contract instead: CellFingerprint hashes a
+// cell's local structure with instance identities neutralized (child
+// edits don't move it), and Library.HierFingerprint composes each
+// cell's local hash with its children's DAG hashes and its port
+// boundary signature — rename/reorder-invariant like Fingerprint, but a
+// one-leaf edit moves only that leaf's hash and the hashes on its path
+// to the root.
 func (c *Circuit) Fingerprint() Fingerprint {
-	r := c.refine()
+	return c.fingerprintWith(nil)
+}
 
+// fingerprintWith is Fingerprint over refineLabels(instLabels): the
+// digest of the converged label multisets with explicit instance seeds.
+func (c *Circuit) fingerprintWith(instLabels []uint64) Fingerprint {
+	return c.digestRefined(c.refineLabels(instLabels))
+}
+
+// digestRefined collapses a refinement result into the 256-bit hash.
+func (c *Circuit) digestRefined(r refined) Fingerprint {
 	// Final digest: element counts plus the sorted label multisets.
 	// Sorting removes any dependence on insertion order. refine()
 	// allocates fresh slices per call, so r is exclusively ours and can

@@ -467,7 +467,25 @@ func (l *Library) Flatten(top string) (*Circuit, error) {
 	for _, p := range root.Ports {
 		flat.DeclarePort(root.NodeName(p))
 	}
-	if err := l.flattenInto(flat, root, "", make(map[string]NodeID), map[string]bool{top: true}); err != nil {
+	if err := l.flattenInto(flat, root, "", make(map[string]NodeID), map[string]bool{top: true}, nil); err != nil {
+		return nil, err
+	}
+	return flat, nil
+}
+
+// FlattenKeep partially flattens root: instances of cells for which
+// keep returns true are preserved as instances (their connections
+// remapped to the flat namespace), while everything else expands
+// exactly like Flatten. The result keeps root's name and port order.
+// Hierarchical verification uses this to fold cells too small to be
+// worth a cache entry into their parent's verification scope.
+func (l *Library) FlattenKeep(root *Circuit, keep func(cell string) bool) (*Circuit, error) {
+	flat := New(root.Name)
+	flat.Loc = root.Loc
+	for _, p := range root.Ports {
+		flat.DeclarePort(root.NodeName(p))
+	}
+	if err := l.flattenInto(flat, root, "", make(map[string]NodeID), map[string]bool{root.Name: true}, keep); err != nil {
 		return nil, err
 	}
 	return flat, nil
@@ -475,8 +493,10 @@ func (l *Library) Flatten(top string) (*Circuit, error) {
 
 // flattenInto copies cell's contents into flat with the given instance
 // prefix. boundary maps cell-local port names to flat node IDs; active
-// tracks the instantiation path for recursion detection.
-func (l *Library) flattenInto(flat, cell *Circuit, prefix string, boundary map[string]NodeID, active map[string]bool) error {
+// tracks the instantiation path for recursion detection. Instances of
+// cells for which keep returns true are copied as instances instead of
+// being expanded (keep nil expands everything).
+func (l *Library) flattenInto(flat, cell *Circuit, prefix string, boundary map[string]NodeID, active map[string]bool, keep func(string) bool) error {
 	// localID maps a cell-local node to its flat ID.
 	local := make([]NodeID, len(cell.Nodes))
 	for i, n := range cell.Nodes {
@@ -520,6 +540,15 @@ func (l *Library) flattenInto(flat, cell *Circuit, prefix string, boundary map[s
 		flat.Resistors = append(flat.Resistors, &nr)
 	}
 	for _, inst := range cell.Instances {
+		if keep != nil && keep(inst.Cell) {
+			conns := make([]string, len(inst.Conns))
+			for i, n := range inst.Conns {
+				conns[i] = flat.NodeName(local[n])
+			}
+			ni := flat.AddInstance(pfx(inst.Name), inst.Cell, conns...)
+			ni.Loc = inst.Loc
+			continue
+		}
 		child := l.Cell(inst.Cell)
 		if child == nil {
 			return fmt.Errorf("netlist: flatten: %s instantiates unknown cell %q", cell.Name, inst.Cell)
@@ -536,7 +565,7 @@ func (l *Library) flattenInto(flat, cell *Circuit, prefix string, boundary map[s
 			childBoundary[child.NodeName(p)] = local[inst.Conns[i]]
 		}
 		active[inst.Cell] = true
-		if err := l.flattenInto(flat, child, pfx(inst.Name), childBoundary, active); err != nil {
+		if err := l.flattenInto(flat, child, pfx(inst.Name), childBoundary, active, keep); err != nil {
 			return err
 		}
 		delete(active, inst.Cell)

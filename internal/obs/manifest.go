@@ -74,6 +74,15 @@ type ManifestItem struct {
 	// deterministic order (source, check, subject, ID) — the rows
 	// `fcv diff` tracks across runs by stable ID.
 	Findings []Finding `json:"findings"`
+	// Subcell names the hierarchy cell this item verifies when the run
+	// was hierarchical; empty (omitted) for whole-netlist items.
+	Subcell string `json:"subcell,omitempty"`
+	// Parent names the subcell's first instantiating parent (omitted
+	// for the top cell and flat items).
+	Parent string `json:"parent,omitempty"`
+	// DiskHit reports the result was replayed from the persistent
+	// cache layer (omitted when false).
+	DiskHit bool `json:"disk_hit,omitempty"`
 }
 
 // Finding is one provenanced verification finding: a check, lint or
@@ -288,6 +297,15 @@ var itemFields = []manifestField{
 	{"findings", "array"},
 }
 
+// itemOptionalFields are per-item v2 fields that may be absent: flat
+// runs omit them; hierarchical runs carry subcell provenance (and any
+// run may mark disk replays).
+var itemOptionalFields = []manifestField{
+	{"subcell", "string"},
+	{"parent", "string"},
+	{"disk_hit", "boolean"},
+}
+
 var findingFields = []manifestField{
 	{"id", "string"},
 	{"source", "string"},
@@ -332,7 +350,7 @@ var itemVerdicts = map[string]bool{
 }
 
 var findingSources = map[string]bool{
-	"check": true, "lint": true, "timing": true, "error": true,
+	"check": true, "lint": true, "timing": true, "error": true, "boundary": true,
 }
 
 var findingSeverities = map[string]bool{
@@ -394,7 +412,7 @@ func SchemaJSON() []byte {
 		"nets":    map[string]any{"type": "array", "items": map[string]any{"type": "string"}},
 	})
 	findingSchema := obj(findingFields, map[string]any{
-		"source":   enum("check", "lint", "timing", "error"),
+		"source":   enum("check", "lint", "timing", "error", "boundary"),
 		"severity": enum("inspect", "violation", "warn", "error"),
 		"evidence": evidenceSchema,
 	})
@@ -407,14 +425,19 @@ func SchemaJSON() []byte {
 		},
 		"count": intMin0,
 	})
+	itemSchema := obj(itemFields, map[string]any{
+		"verdict":  enum("pass", "inspect", "violation", "error"),
+		"findings": map[string]any{"type": "array", "items": findingSchema},
+	})
+	// Optional per-item fields: in properties, not in required.
+	for _, f := range itemOptionalFields {
+		itemSchema["properties"].(map[string]any)[f.name] = map[string]any{"type": f.typ}
+	}
 	doc := obj(manifestFields, map[string]any{
-		"schema":  map[string]any{"type": "string", "const": SchemaID},
-		"workers": intMin0,
-		"wall_ms": map[string]any{"type": "number", "minimum": 0},
-		"items": map[string]any{"type": "array", "items": obj(itemFields, map[string]any{
-			"verdict":  enum("pass", "inspect", "violation", "error"),
-			"findings": map[string]any{"type": "array", "items": findingSchema},
-		})},
+		"schema":     map[string]any{"type": "string", "const": SchemaID},
+		"workers":    intMin0,
+		"wall_ms":    map[string]any{"type": "number", "minimum": 0},
+		"items":      map[string]any{"type": "array", "items": itemSchema},
 		"stages":     map[string]any{"type": "array", "items": obj(stageFields, map[string]any{"depth": intMin0})},
 		"counters":   map[string]any{"type": "object", "additionalProperties": map[string]any{"type": "integer"}},
 		"gauges":     map[string]any{"type": "object", "additionalProperties": map[string]any{"type": "number"}},
@@ -475,7 +498,7 @@ func validateV2(doc map[string]any) error {
 			return fmt.Errorf("manifest: items[%d]: not an object", i)
 		}
 		ctx := fmt.Sprintf("items[%d]", i)
-		if err := checkObject(ctx, it, itemFields); err != nil {
+		if err := checkObjectOpt(ctx, it, itemFields, itemOptionalFields); err != nil {
 			return err
 		}
 		if v := it["verdict"].(string); !itemVerdicts[v] {

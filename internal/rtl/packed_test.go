@@ -7,6 +7,7 @@ package rtl_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/designs"
@@ -342,3 +343,35 @@ func BenchmarkRTLPackedCycle(b *testing.B) {
 		st.Step()
 	}
 }
+
+// BenchmarkRunBlocksSerial and BenchmarkRunBlocksParallel time the
+// lane-block scheduler at one worker and at GOMAXPROCS: their ratio is
+// the multi-core scaling the fcv bench lane_block_speedup metric
+// tracks. One iteration runs the whole block set.
+func runBlocksBench(b *testing.B, workers int) {
+	prog, err := rtl.ParseString(designs.PipelineRTL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := rtl.Elaborate(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := rtl.BlockConfig{
+		Blocks:  4 * runtime.GOMAXPROCS(0),
+		Cycles:  50,
+		Workers: workers,
+		Seed:    9,
+		Inputs:  []string{"run"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtl.RunBlocks(d, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunBlocksSerial(b *testing.B)   { runBlocksBench(b, 1) }
+func BenchmarkRunBlocksParallel(b *testing.B) { runBlocksBench(b, runtime.GOMAXPROCS(0)) }

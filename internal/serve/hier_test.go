@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// hierDeck is a four-level all-subckt hierarchy (chip -> half{0,1} ->
+// col{0,1} -> lv{0..3}) where each leaf variant lives on exactly one
+// branch, so editing lv3 must warm-miss only lv3 -> col1 -> half1 ->
+// chip against the daemon's shared caches. Structure mirrors
+// examples/decks/deep_tree.sp.
+const hierDeck = `
+.subckt lv0 a y
+m1n n1 a vss vss nmos w=2.0 l=0.75
+m1p n1 a vdd vdd pmos w=4.0 l=0.75
+m2n y n1 vss vss nmos w=2.0 l=0.75
+m2p y n1 vdd vdd pmos w=4.0 l=0.75
+.ends
+.subckt lv1 a y
+m3n n1 a vss vss nmos w=2.2 l=0.75
+m3p n1 a vdd vdd pmos w=4.4 l=0.75
+m4n y n1 vss vss nmos w=2.2 l=0.75
+m4p y n1 vdd vdd pmos w=4.4 l=0.75
+.ends
+.subckt lv2 a y
+m5n n1 a vss vss nmos w=2.4 l=0.75
+m5p n1 a vdd vdd pmos w=4.8 l=0.75
+m6n y n1 vss vss nmos w=2.4 l=0.75
+m6p y n1 vdd vdd pmos w=4.8 l=0.75
+.ends
+.subckt lv3 a y
+m7n n1 a vss vss nmos w=2.6 l=0.75
+m7p n1 a vdd vdd pmos w=5.2 l=0.75
+m8n y n1 vss vss nmos w=2.6 l=0.75
+m8p y n1 vdd vdd pmos w=5.2 l=0.75
+.ends
+.subckt col0 a y
+x0 a m lv0
+x1 m y lv1
+.ends
+.subckt col1 a y
+x0 a m lv2
+x1 m y lv3
+.ends
+.subckt half0 a y
+x0 a m col0
+x1 m y col0
+.ends
+.subckt half1 a y
+x0 a m col1
+x1 m y col1
+.ends
+.subckt chip a y
+x0 a q half0
+x1 q y half1
+.ends
+`
+
+// postHier posts the deck on the hierarchical path (every cell kept)
+// and parses the manifest.
+func postHier(t *testing.T, baseURL, deck string) *obs.Manifest {
+	t.Helper()
+	resp, body := postDeck(t, baseURL+"/verify?hier=1&top=chip&hier_inline=-1", deck)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hier verify: status %d: %s", resp.StatusCode, body)
+	}
+	m, err := obs.ParseManifest(body)
+	if err != nil {
+		t.Fatalf("hier response is not a valid manifest: %v", err)
+	}
+	return m
+}
+
+// TestVerifyHierWarmEditOneLeaf is the daemon-side incremental loop: a
+// cold hier request verifies every subcell, an identical resubmit
+// replays all of them, and a one-leaf edit recomputes exactly the
+// edited cell plus its path to the root.
+func TestVerifyHierWarmEditOneLeaf(t *testing.T) {
+	s, hs := newTestServer(t, testConfig())
+
+	cold := postHier(t, hs.URL, hierDeck)
+	if len(cold.Items) != 9 {
+		t.Fatalf("cold run items = %d, want 9 subcells", len(cold.Items))
+	}
+	for _, it := range cold.Items {
+		if it.Subcell == "" {
+			t.Errorf("item %q has no subcell", it.Name)
+		}
+		if it.Verdict != "pass" {
+			t.Errorf("subcell %s verdict = %q, want pass", it.Subcell, it.Verdict)
+		}
+	}
+	if last := cold.Items[len(cold.Items)-1]; last.Subcell != "chip" || last.Parent != "" {
+		t.Errorf("last item = %s (parent %q), want top cell chip last", last.Subcell, last.Parent)
+	}
+	if got := cold.Counters["fleet.subcell.miss"]; got != 9 {
+		t.Errorf("cold fleet.subcell.miss = %d, want 9", got)
+	}
+	if got := cold.Counters["fleet.subcell.compose"]; got != 5 {
+		t.Errorf("cold fleet.subcell.compose = %d, want 5 (cells with kept children)", got)
+	}
+
+	warm := postHier(t, hs.URL, hierDeck)
+	if hit, miss := warm.Counters["fleet.subcell.hit"], warm.Counters["fleet.subcell.miss"]; hit != 9 || miss != 0 {
+		t.Errorf("identical resubmit: hit=%d miss=%d, want 9/0", hit, miss)
+	}
+
+	edited := strings.ReplaceAll(hierDeck, "w=2.6", "w=2.7")
+	inc := postHier(t, hs.URL, edited)
+	if hit, miss := inc.Counters["fleet.subcell.hit"], inc.Counters["fleet.subcell.miss"]; hit != 5 || miss != 4 {
+		t.Errorf("edit-one-leaf: hit=%d miss=%d, want 5/4", hit, miss)
+	}
+	var recomputed []string
+	for _, it := range inc.Items {
+		if !it.Cached && !it.DiskHit {
+			recomputed = append(recomputed, it.Subcell)
+		}
+	}
+	if got := strings.Join(recomputed, ","); got != "lv3,col1,half1,chip" {
+		t.Errorf("recomputed subcells = %q, want lv3,col1,half1,chip", got)
+	}
+
+	// The daemon's lifetime surfaces aggregate the per-request counters.
+	st := s.StatsNow()
+	if got := st.Counters["fleet.subcell.hit"]; got != 14 {
+		t.Errorf("/stats fleet.subcell.hit = %d, want 14 (9 warm + 5 incremental)", got)
+	}
+	if got := st.Counters["fleet.subcell.miss"]; got != 13 {
+		t.Errorf("/stats fleet.subcell.miss = %d, want 13 (9 cold + 4 incremental)", got)
+	}
+	body := string(fetchMetrics(t, hs.URL))
+	for _, want := range []string{
+		"fcv_fleet_subcell_hit_total 14",
+		"fcv_fleet_subcell_miss_total 13",
+		"fcv_fleet_subcell_compose_total 15",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestVerifyHierMatchesFlat the composed hierarchical root must agree
+// with the whole-netlist verdict of the same design — the serve-path
+// half of the determinism acceptance.
+func TestVerifyHierMatchesFlat(t *testing.T) {
+	_, hs := newTestServer(t, testConfig())
+	hier := postHier(t, hs.URL, hierDeck)
+	root := hier.Items[len(hier.Items)-1]
+
+	resp, body := postDeck(t, hs.URL+"/verify?top=chip", hierDeck)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flat verify: status %d: %s", resp.StatusCode, body)
+	}
+	flat, err := obs.ParseManifest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Items) != 1 {
+		t.Fatalf("flat items = %d", len(flat.Items))
+	}
+	if root.Verdict != flat.Items[0].Verdict {
+		t.Errorf("hier root verdict %q != flat verdict %q", root.Verdict, flat.Items[0].Verdict)
+	}
+	if len(root.Findings) != len(flat.Items[0].Findings) {
+		t.Errorf("hier root findings = %d, flat = %d", len(root.Findings), len(flat.Items[0].Findings))
+	}
+}
+
+// TestVerifyHierCountersPreRegistered a daemon that has served no hier
+// traffic must still expose the subcell counter series (at zero), so
+// the /metrics name set is independent of traffic history.
+func TestVerifyHierCountersPreRegistered(t *testing.T) {
+	_, hs := newTestServer(t, testConfig())
+	body := string(fetchMetrics(t, hs.URL))
+	for _, want := range []string{
+		"fcv_fleet_subcell_hit_total 0",
+		"fcv_fleet_subcell_miss_total 0",
+		"fcv_fleet_subcell_compose_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("fresh /metrics missing %q", want)
+		}
+	}
+}
+
+// TestVerifyHierBadRequests hier parameter misuse and malformed
+// hierarchies answer 400 before consuming pool capacity.
+func TestVerifyHierBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, testConfig())
+	for name, url := range map[string]string{
+		"hier+cells":  hs.URL + "/verify?hier=1&cells=1",
+		"unknown top": hs.URL + "/verify?hier=1&top=nosuch",
+	} {
+		if resp, body := postDeck(t, url, hierDeck); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, resp.StatusCode, body)
+		}
+	}
+	cyclic := "\n.subckt a p q\nx1 p q b\n.ends\n.subckt b p q\nx1 p q a\n.ends\n"
+	if resp, body := postDeck(t, hs.URL+"/verify?hier=1&top=a", cyclic); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("cyclic hierarchy: status %d, want 400: %s", resp.StatusCode, body)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/fleet"
+	"repro/internal/netlist"
 )
 
 // parseCache memoizes deck parsing across requests: an LRU keyed on the
@@ -27,9 +28,15 @@ type parseCache struct {
 	entries map[string]*list.Element // key -> element
 }
 
+// parseEntry is one memoized parse. Flat requests fill items; ?hier=1
+// requests instead keep the library and resolved top so VerifyHier can
+// walk the hierarchy (the two shapes never share a key — the hier flag
+// is part of it).
 type parseEntry struct {
 	key   string
 	items []fleet.Item
+	lib   *netlist.Library
+	top   *netlist.Circuit
 }
 
 // newParseCache builds a cache holding up to max decks. max <= 0
@@ -57,20 +64,46 @@ func (c *parseCache) get(key string) ([]fleet.Item, bool) {
 	return el.Value.(*parseEntry).items, true
 }
 
+// getHier returns the cached hierarchical parse for key, refreshing
+// its recency.
+func (c *parseCache) getHier(key string) (*netlist.Library, *netlist.Circuit, bool) {
+	if c == nil || c.max <= 0 {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*parseEntry)
+	return e.lib, e.top, e.lib != nil
+}
+
 // put stores a parse result, evicting the least-recently-used entry
 // when the cache is full.
 func (c *parseCache) put(key string, items []fleet.Item) {
+	c.putEntry(&parseEntry{key: key, items: items})
+}
+
+// putHier stores a hierarchical parse result under the same LRU.
+func (c *parseCache) putHier(key string, lib *netlist.Library, top *netlist.Circuit) {
+	c.putEntry(&parseEntry{key: key, lib: lib, top: top})
+}
+
+func (c *parseCache) putEntry(e *parseEntry) {
 	if c == nil || c.max <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*parseEntry).items = items
+	if el, ok := c.entries[e.key]; ok {
+		el.Value = e
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&parseEntry{key: key, items: items})
+	c.entries[e.key] = c.order.PushFront(e)
 	for c.order.Len() > c.max {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

@@ -23,6 +23,14 @@
 // matter how many clients race on it, and a rename-only edit re-uses
 // the structural-fingerprint entry.
 //
+// ?hier=1 switches a request onto fleet.VerifyHier: each subcell is
+// keyed on its fingerprint-DAG hash against the same shared caches, so
+// an agent editing one leaf cell between requests pays only for the
+// edited cell and its path to the root — the daemon-side twin of
+// `fcv verify -hier -cache-dir`. The fleet.subcell.{hit,miss,compose}
+// counters on /stats and /metrics (pre-registered, so the exposition's
+// shape is traffic-independent) are the observable evidence.
+//
 // Backpressure contract: a global pool of worker tokens bounds total
 // verification parallelism; each request needs one token to run and may
 // opportunistically take up to its ?j= budget when the pool is idle. At
@@ -49,6 +57,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/netlist"
 	"repro/internal/obs"
 )
 
@@ -153,6 +162,12 @@ func New(cfg Config) *Server {
 	// the exposition's shape must not depend on traffic history.
 	s.col.Add("serve.parse_cache.hit", 0)
 	s.col.Add("serve.parse_cache.miss", 0)
+	// Same for the hierarchical subcell counters: a daemon that has not
+	// seen a ?hier=1 request yet must expose the same name set as one
+	// mid-way through an incremental edit loop.
+	s.col.Add("fleet.subcell.hit", 0)
+	s.col.Add("fleet.subcell.miss", 0)
+	s.col.Add("fleet.subcell.compose", 0)
 	s.mux.HandleFunc("/verify", s.handleVerify)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -179,7 +194,7 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprint(w, `fcv serve — full-custom verification service
-  POST /verify[?top=CELL&cells=1&j=N&lint=1&stream=1][&path=deck.sp]  deck in body -> run manifest
+  POST /verify[?top=CELL&cells=1&hier=1&hier_inline=N&j=N&lint=1&stream=1][&path=deck.sp]  deck in body -> run manifest
   GET  /stats                                                         daemon counters (JSON)
   GET  /metrics                                                       Prometheus text exposition
   GET  /debug/traces                                                  slow-trace index (JSON)
@@ -241,10 +256,19 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		}
 		want = j
 	}
+	hierInline := 0
+	if hi := q.Get("hier_inline"); hi != "" {
+		n, err := strconv.Atoi(hi)
+		if err != nil {
+			s.fail(w, &rec, http.StatusBadRequest, "bad hier_inline=%q (want an integer)", hi)
+			return
+		}
+		hierInline = n
+	}
 
 	// Load the deck before competing for workers: parse errors should
 	// not consume pool capacity, and a 400 should be instant.
-	items, src, deckSHA, err := s.loadDeck(r)
+	ld, src, deckSHA, err := s.loadDeck(r)
 	rec.Deck = deckSHA
 	if err != nil {
 		s.fail(w, &rec, http.StatusBadRequest, "%v", err)
@@ -277,11 +301,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	// (the numeric half of the ID; gauges never enter the stable half).
 	col.SetGauge("serve.trace_seq", float64(seq))
 	opt := fleet.Options{
-		Core:      s.cfg.Core,
-		Workers:   got,
-		Cache:     s.cfg.Cache,
-		DiskCache: s.cfg.DiskCache,
-		Obs:       col,
+		Core:       s.cfg.Core,
+		Workers:    got,
+		Cache:      s.cfg.Cache,
+		DiskCache:  s.cfg.DiskCache,
+		Obs:        col,
+		HierInline: hierInline,
 	}
 	if boolParam(r, "lint") {
 		opt.Core.Lint = true
@@ -301,7 +326,27 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		opt.Events = sink
 	}
 
-	rep := fleet.Verify(items, opt)
+	var rep *fleet.Report
+	if ld.lib != nil {
+		// ?hier=1: hierarchical incremental verification against the
+		// daemon's shared caches — the warm subcell replay works across
+		// requests exactly like `fcv verify -hier -cache-dir` across
+		// processes. Hierarchy errors (cycles, arity) were caught at load
+		// time, so a failure here is the daemon's problem, not the deck's.
+		rep, err = fleet.VerifyHier(ld.lib, ld.top, opt)
+		if err != nil {
+			if stream {
+				sink.Emit("error", err.Error())
+				sink.Close()
+				rec.Status = http.StatusOK
+				return
+			}
+			s.fail(w, &rec, http.StatusInternalServerError, "hier: %v", err)
+			return
+		}
+	} else {
+		rep = fleet.Verify(ld.items, opt)
+	}
 	elapsedMS := float64(obs.Now().Sub(t0).Microseconds()) / 1000
 	s.account(rep, elapsedMS, col)
 	m := fleet.BuildManifest("fcv serve", rep, col)
@@ -358,22 +403,36 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	w.Write(b)
 }
 
-// loadDeck resolves the request's deck — body or ?path= — into fleet
-// items through the parse cache, honoring ?top= and ?cells=1. Returns
-// the source name and the deck's sha256 alongside the items (the sha is
-// the access log's deck fingerprint, so it is returned even when the
-// parse fails).
-func (s *Server) loadDeck(r *http.Request) (items []fleet.Item, src, deckSHA string, err error) {
+// deckLoad is loadDeck's result: the flat item list, or — for ?hier=1
+// requests — the parsed library plus resolved top cell for VerifyHier
+// (lib non-nil selects the hierarchical path).
+type deckLoad struct {
+	items []fleet.Item
+	lib   *netlist.Library
+	top   *netlist.Circuit
+}
+
+// loadDeck resolves the request's deck — body or ?path= — through the
+// parse cache, honoring ?top=, ?cells=1 and ?hier=1. Returns the
+// source name and the deck's sha256 alongside the load (the sha is the
+// access log's deck fingerprint, so it is returned even when the parse
+// fails). Hierarchy errors — unknown top, instance cycles, arity
+// mismatches — surface here too, so the handler's verification phase
+// only ever sees decks whose fingerprint DAG resolved.
+func (s *Server) loadDeck(r *http.Request) (ld deckLoad, src, deckSHA string, err error) {
 	q := r.URL.Query()
-	top, cells := q.Get("top"), boolParam(r, "cells")
+	top, cells, hier := q.Get("top"), boolParam(r, "cells"), boolParam(r, "hier")
+	if hier && cells {
+		return ld, "", "", fmt.Errorf("hier=1 and cells=1 are mutually exclusive (hier verifies every cell already)")
+	}
 	var data []byte
 	if path := q.Get("path"); path != "" {
 		if !s.cfg.AllowPathDecks {
-			return nil, path, "", fmt.Errorf("path decks are disabled on this server (start with -paths)")
+			return ld, path, "", fmt.Errorf("path decks are disabled on this server (start with -paths)")
 		}
 		data, err = os.ReadFile(path)
 		if err != nil {
-			return nil, path, "", err
+			return ld, path, "", err
 		}
 		src = path
 	} else {
@@ -384,23 +443,42 @@ func (s *Server) loadDeck(r *http.Request) (items []fleet.Item, src, deckSHA str
 		body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
 		data, err = io.ReadAll(body)
 		if err != nil {
-			return nil, src, "", err
+			return ld, src, "", err
 		}
 	}
 	sum := sha256.Sum256(data)
 	deckSHA = hex.EncodeToString(sum[:])
-	key := deckSHA + "\x00" + src + "\x00" + top + "\x00" + strconv.FormatBool(cells)
+	key := deckSHA + "\x00" + src + "\x00" + top + "\x00" + strconv.FormatBool(cells) + "\x00" + strconv.FormatBool(hier)
+	if hier {
+		if lib, topC, ok := s.parses.getHier(key); ok {
+			s.col.Add("serve.parse_cache.hit", 1)
+			return deckLoad{lib: lib, top: topC}, src, deckSHA, nil
+		}
+		s.col.Add("serve.parse_cache.miss", 1)
+		lib, topC, err := fleet.HierFromDeck(bytes.NewReader(data), src, top)
+		if err != nil {
+			return ld, src, deckSHA, err
+		}
+		// Resolve the fingerprint DAG now so malformed hierarchies are a
+		// 400 before admission, not a mid-run failure after headers went
+		// out (the result itself is rebuilt memoized inside VerifyHier).
+		if _, err := lib.HierFingerprint(topC); err != nil {
+			return ld, src, deckSHA, err
+		}
+		s.parses.putHier(key, lib, topC)
+		return deckLoad{lib: lib, top: topC}, src, deckSHA, nil
+	}
 	if cached, ok := s.parses.get(key); ok {
 		s.col.Add("serve.parse_cache.hit", 1)
-		return cached, src, deckSHA, nil
+		return deckLoad{items: cached}, src, deckSHA, nil
 	}
 	s.col.Add("serve.parse_cache.miss", 1)
-	items, err = fleet.ItemsFromDeck(bytes.NewReader(data), src, top, cells)
+	items, err := fleet.ItemsFromDeck(bytes.NewReader(data), src, top, cells)
 	if err != nil {
-		return nil, src, deckSHA, err
+		return ld, src, deckSHA, err
 	}
 	s.parses.put(key, items)
-	return items, src, deckSHA, nil
+	return deckLoad{items: items}, src, deckSHA, nil
 }
 
 // fail answers an unusable request and counts it.
