@@ -32,6 +32,9 @@ type Cache struct {
 	// subcell are pure functions of its DAG content and the cutoff that
 	// shaped its effective scope, so a warm re-verify replays them
 	// instead of re-flattening and re-classifying untouched cells.
+	// Unlike the main entry map they are bounded: VerifyHier prunes
+	// stale keys (pruneHier) so daemon edit history cannot grow them
+	// without limit.
 	hierMu    sync.Mutex
 	hierIfcs  map[hierKey]*hier.Interface
 	hierBound map[hierKey][]obs.Finding
@@ -122,6 +125,37 @@ func (c *Cache) setHierBoundary(k hierKey, bf []obs.Finding) {
 	c.hierMu.Lock()
 	defer c.hierMu.Unlock()
 	c.hierBound[k] = bf
+}
+
+// hierSideSlack bounds the hier side-tables relative to the most recent
+// run's live cell set: pruning kicks in only once a table exceeds this
+// multiple of the live keys, so steady re-verification of one design
+// never pays for it while a daemon's edit history cannot grow the
+// tables without bound.
+const hierSideSlack = 8
+
+// pruneHier drops side-table entries outside the live key set once a
+// table has outgrown hierSideSlack times it. The tables are otherwise
+// append-only — every edit iteration in a long-running daemon adds
+// DAG-keyed entries that would never be looked up again — and a pruned
+// entry is merely re-derived on next use, so eviction is always safe.
+func (c *Cache) pruneHier(live map[hierKey]bool) {
+	c.hierMu.Lock()
+	defer c.hierMu.Unlock()
+	if len(c.hierIfcs) > hierSideSlack*len(live) {
+		for k := range c.hierIfcs {
+			if !live[k] {
+				delete(c.hierIfcs, k)
+			}
+		}
+	}
+	if len(c.hierBound) > hierSideSlack*len(live) {
+		for k := range c.hierBound {
+			if !live[k] {
+				delete(c.hierBound, k)
+			}
+		}
+	}
 }
 
 // Len returns the number of distinct (fingerprint, config) entries.

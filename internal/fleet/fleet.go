@@ -46,11 +46,12 @@ type Item struct {
 	Name string
 	// Circuit is the flat design to verify.
 	Circuit *netlist.Circuit
-	// Lazy, when Circuit is nil, supplies the circuit on demand. It is
-	// invoked at most once, and only when the result cannot be replayed
-	// from a cache — the hierarchical driver uses it to defer subcell
-	// scope construction to actual misses. Requires Key (there is no
-	// circuit to fingerprint up front otherwise).
+	// Lazy, when Circuit is nil, supplies the circuit on demand. The
+	// fleet memoizes it, so it runs at most once, and with Key set only
+	// when the result cannot be replayed from a cache — the
+	// hierarchical driver uses it to defer subcell scope construction
+	// to actual misses. Without Key it still runs exactly once, but up
+	// front (the circuit must be fingerprinted), losing the laziness.
 	Lazy func() (*netlist.Circuit, error)
 	// Key, when non-zero, overrides the cache-key fingerprint. The
 	// hierarchical driver keys each subcell scope on the cell's DAG
@@ -311,7 +312,10 @@ func Verify(items []Item, opt Options) *Report {
 				copt.PprofLabels = opt.PprofLabels
 				circ := func() (*netlist.Circuit, error) { return it.Circuit, nil }
 				if it.Circuit == nil && it.Lazy != nil {
-					circ = it.Lazy
+					// OnceValues upholds Lazy's at-most-once contract even
+					// when Key is zero and the fingerprint path calls circ
+					// before the cache (or no-cache branch) does again.
+					circ = sync.OnceValues(it.Lazy)
 				}
 				work := func() {
 					res.Fingerprint = it.Key

@@ -193,3 +193,42 @@ func TestCorpusFromLibrary(t *testing.T) {
 		t.Errorf("trivial hierarchy should verify:\n%s", rep.Text())
 	}
 }
+
+// TestLazyInvokedOnce pins Item.Lazy's at-most-once contract on every
+// path: with Key set it defers to the actual miss, and without Key the
+// fleet memoizes it so the up-front fingerprinting call is the only
+// invocation — cached or not.
+func TestLazyInvokedOnce(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		key    bool
+		cached bool
+	}{
+		{"nokey-nocache", false, false},
+		{"nokey-cache", false, true},
+		{"key-cache", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			calls := 0
+			circ := designs.InverterChain(8)
+			it := Item{Name: "lazy", Lazy: func() (*netlist.Circuit, error) {
+				calls++
+				return circ, nil
+			}}
+			if tc.key {
+				it.Key = circ.Fingerprint()
+			}
+			opt := Options{Core: coreOpts(), Workers: 1}
+			if tc.cached {
+				opt.Cache = NewCache()
+			}
+			rep := Verify([]Item{it}, opt)
+			if rep.Results[0].Err != nil {
+				t.Fatal(rep.Results[0].Err)
+			}
+			if calls != 1 {
+				t.Errorf("Lazy invoked %d times, want 1", calls)
+			}
+		})
+	}
+}

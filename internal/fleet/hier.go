@@ -35,6 +35,8 @@ const DefaultHierInline = 16
 // HierKeySalt marks subcell-scope cache entries: a scope's report
 // describes the cell with child nets promoted to ports, which is not
 // interchangeable with a whole-netlist report of the same circuit.
+// VerifyHier appends the effective inlining cutoff to it, so entries
+// from different HierInline configurations never alias either.
 const HierKeySalt = "|hier-scope/v1"
 
 // VerifyHier runs hierarchical incremental verification of the design
@@ -137,7 +139,13 @@ func VerifyHier(lib *netlist.Library, top *netlist.Circuit, opt Options) (*Repor
 		}})
 	}
 
-	opt.KeySalt += HierKeySalt
+	// The cutoff shapes every kept cell's scope (it decides which
+	// children are inlined into the scope vs promoted to ports), so it
+	// must be part of the cache key: without it, runs with different
+	// -hier-inline values sharing a cache dir — or daemon requests with
+	// different ?hier_inline — would alias entries for materially
+	// different circuits and silently replay wrong verdicts.
+	opt.KeySalt += fmt.Sprintf("%s|inline=%d", HierKeySalt, cutoff)
 	rep := Verify(items, opt)
 
 	// Port interfaces, memoized on (DAG, cutoff) across runs: resolving
@@ -268,6 +276,14 @@ func VerifyHier(lib *netlist.Library, top *netlist.Circuit, opt Options) (*Repor
 		opt.Obs.Add("fleet.subcell.miss", int64(len(rep.Results)-hits))
 		opt.Obs.Add("fleet.subcell.compose", composed)
 	}
+	// Bound the side-tables for long-running daemons: entries keyed by
+	// superseded DAG hashes (earlier edit iterations) are pruned once
+	// they outnumber this run's live set by a wide margin.
+	live := make(map[hierKey]bool, len(units))
+	for _, name := range units {
+		live[hierKey{fp: dag(name), cutoff: cutoff}] = true
+	}
+	cache.pruneHier(live)
 	return rep, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/designs"
+	"repro/internal/hier"
 	"repro/internal/netlist"
 )
 
@@ -205,6 +206,80 @@ func TestVerifyHierRenameInvariance(t *testing.T) {
 			t.Logf("%s cached=%v", res.Subcell, res.Cached)
 		}
 		t.Fatalf("rename-only edit caused %d cache misses, want 0", rep.Misses)
+	}
+}
+
+// TestVerifyHierInlineCutoffKeying: the inlining cutoff shapes every
+// kept cell's scope (it decides which children fold in vs become
+// ports), so two runs with different cutoffs sharing one cache must
+// never alias entries — the shared-cache run reproduces the
+// fresh-cache outcome and replays nothing from the other
+// configuration.
+func TestVerifyHierInlineCutoffKeying(t *testing.T) {
+	cache := NewCache()
+	lib, top := designs.DeepTree(3, 2, 0)
+	repA, err := VerifyHier(lib, lib.Cell(top), Options{Core: coreOpts(), Cache: cache, HierInline: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cutoff 100 inlines the ~50-device leaves that cutoff -1 kept, so
+	// the kept parents share DAG keys across the two runs while their
+	// scopes differ materially.
+	repB, err := VerifyHier(lib, lib.Cell(top), Options{Core: coreOpts(), Cache: cache, HierInline: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := VerifyHier(lib, lib.Cell(top), Options{Core: coreOpts(), Cache: NewCache(), HierInline: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.ConfigKey == repB.ConfigKey {
+		t.Fatalf("config keys alias across cutoffs: %q", repA.ConfigKey)
+	}
+	if len(repB.Results) >= len(repA.Results) {
+		t.Fatalf("cutoff 100 kept %d units, want fewer than cutoff -1's %d (corpus assumption broken)",
+			len(repB.Results), len(repA.Results))
+	}
+	if repB.Text() != ref.Text() {
+		t.Fatalf("shared-cache run differs from fresh-cache run:\n%svs\n%s", repB.Text(), ref.Text())
+	}
+	if repB.Misses != ref.Misses {
+		t.Fatalf("shared-cache run replayed %d entries from the other cutoff's configuration (misses=%d, want %d)",
+			ref.Misses-repB.Misses, repB.Misses, ref.Misses)
+	}
+}
+
+// TestCachePruneHier: the hier side-tables evict keys outside the live
+// set once they outgrow it by hierSideSlack, and stay put below that —
+// bounding a daemon's memory across edit iterations.
+func TestCachePruneHier(t *testing.T) {
+	c := NewCache()
+	key := func(i int) hierKey {
+		var fp netlist.Fingerprint
+		fp[0] = byte(i)
+		fp[1] = byte(i >> 8)
+		return hierKey{fp: fp, cutoff: 16}
+	}
+	live := map[hierKey]bool{key(0): true, key(1): true}
+	for i := 0; i <= 2*hierSideSlack; i++ {
+		c.setHierIfc(key(i), &hier.Interface{})
+		c.setHierBoundary(key(i), nil)
+	}
+	c.pruneHier(live)
+	if len(c.hierIfcs) != len(live) || len(c.hierBound) != len(live) {
+		t.Fatalf("after prune: %d ifcs / %d boundaries, want %d live each",
+			len(c.hierIfcs), len(c.hierBound), len(live))
+	}
+	for k := range live {
+		if _, ok := c.hierIfc(k); !ok {
+			t.Errorf("live key %v evicted", k)
+		}
+	}
+	// Below the slack threshold nothing is touched.
+	c.setHierIfc(key(2), &hier.Interface{})
+	c.pruneHier(live)
+	if _, ok := c.hierIfc(key(2)); !ok {
+		t.Error("prune below threshold evicted an entry")
 	}
 }
 

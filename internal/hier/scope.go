@@ -186,13 +186,17 @@ func CellInterface(c *netlist.Circuit, children map[string]*Interface) (*Interfa
 // its subcell scopes cannot see in isolation:
 //
 //   - drive fight: two or more independent drive sources on one net —
-//     each driven child port counts as one source, and any local
-//     channel path to a rail counts as one more. Legitimate for a
-//     properly enabled bus, lethal for anything else: inspect.
-//   - charge sharing: a net with no drive source at all that exposes a
-//     channel terminal across an instance boundary, so charge can
-//     redistribute between the parent's and the child's diffusion
-//     without any restoring drive: inspect.
+//     each driven child port counts as one source, a local channel
+//     path to a rail counts as one more, and sources propagate to
+//     neighboring nets through conducting local pass devices (what
+//     flat verification would see), so a net reached laterally by one
+//     child's drive and directly by another's still counts two.
+//     Legitimate for a properly enabled bus, lethal for anything
+//     else: inspect.
+//   - charge sharing: a net no drive source reaches (not even
+//     laterally) that exposes a channel terminal across an instance
+//     boundary, so charge can redistribute between the parent's and
+//     the child's diffusion without any restoring drive: inspect.
 //
 // Finding IDs use the parent's structural signatures, so they are
 // stable under renames and deck reordering like every other fcv
@@ -203,37 +207,40 @@ func BoundaryFindings(c *netlist.Circuit, children map[string]*Interface) ([]obs
 	if err != nil {
 		return nil, err
 	}
-	// Local drive: reachability using only rails as seeds — separates
-	// "this cell drives the net itself" from drive arriving via
-	// children. Recomputed over a child-free view of the same nets.
-	localDriven := make([]bool, len(c.Nodes))
-	{
-		queue := make([]netlist.NodeID, 0, len(c.Nodes))
-		for i := range c.Nodes {
-			if c.IsSupply(netlist.NodeID(i)) {
-				localDriven[i] = true
-				queue = append(queue, netlist.NodeID(i))
-			}
+	// Independent drive sources are counted per conducting-channel
+	// component: a local device whose channel can conduct (per
+	// dataflow) merges its source and drain nets, so drive landing on
+	// one net of a component reaches every other — the same lateral
+	// propagation flat verification sees through a conducting pass
+	// device. Each driven child port binding is one source for its
+	// net's component (source identity is the binding, so no source is
+	// counted twice on any net it reaches), and a supply rail in the
+	// component adds exactly one more for the cell's own drive — fights
+	// among purely local rail paths are the subcell scope's own
+	// verification to catch.
+	comp := make([]int, len(c.Nodes))
+	for i := range comp {
+		comp[i] = i
+	}
+	find := func(x int) int {
+		for comp[x] != x {
+			comp[x] = comp[comp[x]]
+			x = comp[x]
 		}
-		for len(queue) > 0 {
-			n := queue[0]
-			queue = queue[1:]
-			for _, d := range c.DevicesOn(n) {
-				if !dataflow.CanConduct(c, d) {
-					continue
-				}
-				other := d.Source
-				if other == n {
-					other = d.Drain
-				}
-				if !localDriven[other] {
-					localDriven[other] = true
-					queue = append(queue, other)
-				}
-			}
+		return x
+	}
+	for _, d := range c.Devices {
+		if dataflow.CanConduct(c, d) {
+			comp[find(int(d.Source))] = find(int(d.Drain))
 		}
 	}
-	childDrivers := make([]int, len(c.Nodes))
+	compDrivers := make(map[int]int)
+	railComp := make(map[int]bool)
+	for i := range c.Nodes {
+		if c.IsSupply(netlist.NodeID(i)) {
+			railComp[find(i)] = true
+		}
+	}
 	childChannels := make([]int, len(c.Nodes))
 	for _, inst := range c.Instances {
 		ci := children[inst.Cell]
@@ -243,7 +250,7 @@ func BoundaryFindings(c *netlist.Circuit, children map[string]*Interface) ([]obs
 			}
 			pc := ci.Ports[pos]
 			if pc.Driven {
-				childDrivers[conn]++
+				compDrivers[find(int(conn))]++
 			} else if pc.Channel {
 				childChannels[conn]++
 			}
@@ -258,8 +265,9 @@ func BoundaryFindings(c *netlist.Circuit, children map[string]*Interface) ([]obs
 			// parent; that boundary is checked one level up.
 			continue
 		}
-		drivers := childDrivers[i]
-		if localDriven[i] && cls[i].Channel {
+		root := find(i)
+		drivers := compDrivers[root]
+		if railComp[root] {
 			drivers++
 		}
 		switch {

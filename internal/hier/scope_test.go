@@ -213,6 +213,63 @@ func TestBoundaryFindingsDriveFight(t *testing.T) {
 	}
 }
 
+// TestBoundaryFindingsLateralDrive: drive sources propagate across
+// conducting local pass devices when counted — two child-driven nets
+// joined by a pass channel fight on both nets, exactly as flat
+// verification would see — while a net reached by only one source,
+// even laterally, is neither a fight nor a false charge-share.
+func TestBoundaryFindingsLateralDrive(t *testing.T) {
+	ii, err := CellInterface(inv(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, err := CellInterface(tgate(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	children := map[string]*Interface{"inv": ii, "tg": ti}
+
+	// x and y each carry one directly driven child port; mpass merges
+	// them into one conducting component: two sources on both nets.
+	p := netlist.New("p")
+	p.DeclarePort("a")
+	p.DeclarePort("b")
+	p.DeclarePort("en")
+	p.AddInstance("x1", "inv", "a", "x")
+	p.AddInstance("x2", "inv", "b", "y")
+	p.NMOS("mpass", "en", "x", "y", 2, 0.25)
+	bf, err := BoundaryFindings(p, children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf) != 2 {
+		t.Fatalf("findings = %+v, want drive fights on x and y", bf)
+	}
+	for _, f := range bf {
+		if f.Check != "drive-fight" || f.Evidence.Measured != 2 {
+			t.Errorf("finding = %+v, want a 2-source drive fight", f)
+		}
+	}
+
+	// One direct source on x, drive reaching y only laterally, with a
+	// child channel terminal parked on y: one source everywhere — no
+	// fight, and no false charge-share on the indirectly driven net.
+	q := netlist.New("q")
+	q.DeclarePort("a")
+	q.DeclarePort("b")
+	q.DeclarePort("en")
+	q.AddInstance("x1", "inv", "a", "x")
+	q.NMOS("mpass", "en", "x", "y", 2, 0.25)
+	q.AddInstance("x2", "tg", "y", "b", "en")
+	bf, err = BoundaryFindings(q, children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf) != 0 {
+		t.Errorf("single lateral source produced findings: %+v", bf)
+	}
+}
+
 // TestBoundaryFindingsChargeShare: an undriven parent net joining two
 // child channel terminals can redistribute charge with no restoring
 // drive. The finding IDs are structural — renaming the net moves the

@@ -139,6 +139,29 @@ func NewHierFPMemo() *HierFPMemo {
 	return &HierFPMemo{m: make(map[[sha256.Size]byte]hierFPMemoEntry)}
 }
 
+// hierMemoSlack bounds the memo relative to the latest build's live
+// key set: pruning starts only past this multiple, so re-verifying one
+// design never evicts, while a daemon's edit history (one superseded
+// key per edited cell per iteration) cannot grow the memo unboundedly.
+const hierMemoSlack = 8
+
+// prune drops entries outside live once the memo has outgrown
+// hierMemoSlack times it. Eviction is always safe: a pruned entry costs
+// one re-refinement on next sight, never a wrong value. Concurrent
+// builds can prune each other's fresh entries — also only a perf cost.
+func (mm *HierFPMemo) prune(live map[[sha256.Size]byte]bool) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if len(mm.m) <= hierMemoSlack*len(live) {
+		return
+	}
+	for k := range mm.m {
+		if !live[k] {
+			delete(mm.m, k)
+		}
+	}
+}
+
 // rawKey digests every input the refinement reads: node classes, port
 // flags, capacitances and attributes; device kind, flavour, sizing and
 // terminals; resistors; instance connections with their child seed
@@ -167,6 +190,12 @@ func (mm *HierFPMemo) rawKey(c *Circuit, childLabels []uint64) [sha256.Size]byte
 		}
 		b = append(b, cls)
 		u64(math.Float64bits(n.CapFF))
+		// The attr count keeps the encoding prefix-free: without it the
+		// next node's fixed fields could parse as more length-prefixed
+		// attr data, letting two different circuits share a key — and a
+		// collision here is a false memo HIT returning a wrong DAG hash,
+		// not a harmless miss.
+		u64(uint64(len(n.Attrs)))
 		if len(n.Attrs) > 0 {
 			keys := make([]string, 0, len(n.Attrs))
 			for k := range n.Attrs {
@@ -228,6 +257,10 @@ func (l *Library) HierFingerprint(top *Circuit) (*HierFP, error) {
 func (l *Library) HierFingerprintMemo(top *Circuit, memo *HierFPMemo) (*HierFP, error) {
 	h := &HierFP{Top: top.Name, Cells: make(map[string]*CellInfo)}
 	state := make(map[string]int) // 1 = in stack, 2 = done
+	var live map[[sha256.Size]byte]bool
+	if memo != nil {
+		live = make(map[[sha256.Size]byte]bool)
+	}
 	var visit func(c *Circuit) (*CellInfo, error)
 	visit = func(c *Circuit) (*CellInfo, error) {
 		switch state[c.Name] {
@@ -271,6 +304,7 @@ func (l *Library) HierFingerprintMemo(top *Circuit, memo *HierFPMemo) (*HierFP, 
 			key = memo.rawKey(c, childLabels)
 			ent, ok := memo.m[key]
 			memo.mu.Unlock()
+			live[key] = true
 			if ok {
 				info.DAG, info.Boundary = ent.dag, ent.boundary
 				hit = true
@@ -305,6 +339,9 @@ func (l *Library) HierFingerprintMemo(top *Circuit, memo *HierFPMemo) (*HierFP, 
 	}
 	if _, err := visit(top); err != nil {
 		return nil, err
+	}
+	if memo != nil {
+		memo.prune(live)
 	}
 	return h, nil
 }
